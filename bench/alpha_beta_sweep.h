@@ -1,0 +1,80 @@
+#ifndef TRICLUST_BENCH_ALPHA_BETA_SWEEP_H_
+#define TRICLUST_BENCH_ALPHA_BETA_SWEEP_H_
+
+/// Shared (alpha, beta) grid-sweep driver of the paper's Figure 6 (user
+/// level) and Figure 7 (tweet level) benches.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/core/offline.h"
+#include "src/eval/metrics.h"
+#include "src/util/table_writer.h"
+
+namespace triclust {
+namespace bench_sweep {
+
+/// Runs the (α, β) grid and prints one table per metric and level.
+/// Shared with the Figure 7 bench (tweet level).
+inline void RunAlphaBetaSweep(bool user_level) {
+  const bench_util::BenchDataset b = bench_util::MakeProp30();
+  const std::vector<double> grid = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+
+  TriClusterConfig base;
+  base.max_iterations = 60;
+  base.track_loss = false;
+  const DenseMatrix sf0 = b.lexicon.BuildSf0(b.builder.vocabulary(),
+                                             base.num_clusters);
+
+  TableWriter acc_table(user_level
+                            ? "User-level accuracy (%) over (alpha, beta)"
+                            : "Tweet-level accuracy (%) over (alpha, beta)");
+  TableWriter nmi_table(user_level
+                            ? "User-level NMI (%) over (alpha, beta)"
+                            : "Tweet-level NMI (%) over (alpha, beta)");
+  std::vector<std::string> header = {"alpha\\beta"};
+  for (double beta : grid) header.push_back(TableWriter::Num(beta, 1));
+  acc_table.SetHeader(header);
+  nmi_table.SetHeader(header);
+
+  double best_acc = 0.0;
+  double best_alpha = 0.0;
+  double best_beta = 0.0;
+  for (double alpha : grid) {
+    std::vector<std::string> acc_row = {TableWriter::Num(alpha, 1)};
+    std::vector<std::string> nmi_row = {TableWriter::Num(alpha, 1)};
+    for (double beta : grid) {
+      TriClusterConfig config = base;
+      config.alpha = alpha;
+      config.beta = beta;
+      const TriClusterResult r =
+          OfflineTriClusterer(config).Run(b.data, sf0);
+      const std::vector<int> clusters =
+          user_level ? r.UserClusters() : r.TweetClusters();
+      const std::vector<Sentiment>& truth =
+          user_level ? b.data.user_labels : b.data.tweet_labels;
+      const double acc = 100.0 * ClusteringAccuracy(clusters, truth);
+      const double nmi =
+          100.0 * NormalizedMutualInformation(clusters, truth);
+      acc_row.push_back(TableWriter::Num(acc, 1));
+      nmi_row.push_back(TableWriter::Num(nmi, 1));
+      if (acc > best_acc) {
+        best_acc = acc;
+        best_alpha = alpha;
+        best_beta = beta;
+      }
+    }
+    acc_table.AddRow(acc_row);
+    nmi_table.AddRow(nmi_row);
+  }
+  acc_table.Print(std::cout);
+  nmi_table.Print(std::cout);
+  std::cout << "\nbest accuracy " << TableWriter::Num(best_acc, 2)
+            << "% at alpha=" << best_alpha << ", beta=" << best_beta << "\n";
+}
+
+}  // namespace bench_sweep
+}  // namespace triclust
+
+
+#endif  // TRICLUST_BENCH_ALPHA_BETA_SWEEP_H_

@@ -1,0 +1,12 @@
+/// Reproduces paper Figure 11: online vs mini-batch vs full-batch on the
+/// Prop-30-like stream — per-day running time (a), tweet-level accuracy (b)
+/// and user-level accuracy (c).
+
+#include "bench/timeline_figure.h"
+
+int main() {
+  const auto b = triclust::bench_util::MakeProp30();
+  triclust::bench_fig::RunTimelineFigure(
+      "Figure 11: online performance, Prop-30-like stream", b);
+  return 0;
+}

@@ -1,0 +1,12 @@
+/// Reproduces paper Figure 12: online vs mini-batch vs full-batch on the
+/// higher-volume, positively-skewed Prop-37-like stream — per-day running
+/// time (a), tweet-level accuracy (b) and user-level accuracy (c).
+
+#include "bench/timeline_figure.h"
+
+int main() {
+  const auto b = triclust::bench_util::MakeProp37();
+  triclust::bench_fig::RunTimelineFigure(
+      "Figure 12: online performance, Prop-37-like stream", b);
+  return 0;
+}

@@ -1,0 +1,152 @@
+/// Kernel microbenchmarks (google-benchmark): the sparse–dense products and
+/// multiplicative update rules that dominate Algorithm 1/2 runtime, plus
+/// one full offline iteration. These back the paper's complexity claim
+/// (§3.2): per-iteration cost O(k·(nl + ml + nm + m²)) dominated by the
+/// O(nnz·k) sparse products.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/updates.h"
+#include "src/data/synthetic.h"
+#include "src/matrix/ops.h"
+#include "src/text/tokenizer.h"
+#include "src/text/vectorizer.h"
+#include "src/util/rng.h"
+
+namespace triclust {
+namespace {
+
+SparseMatrix MakeSparse(size_t rows, size_t cols, size_t nnz_per_row,
+                        uint64_t seed) {
+  Rng rng(seed);
+  SparseMatrix::Builder builder(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t p = 0; p < nnz_per_row; ++p) {
+      builder.Add(i, rng.NextUint64Below(cols), rng.Uniform(0.1, 1.0));
+    }
+  }
+  return builder.Build();
+}
+
+void BM_SpMM(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const SparseMatrix x = MakeSparse(n, 5000, 12, 1);
+  Rng rng(2);
+  const DenseMatrix d = DenseMatrix::Random(5000, 3, &rng, 0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpMM(x, d));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.nnz()));
+}
+BENCHMARK(BM_SpMM)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_SpTMM(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const SparseMatrix x = MakeSparse(n, 5000, 12, 3);
+  Rng rng(4);
+  const DenseMatrix d = DenseMatrix::Random(n, 3, &rng, 0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpTMM(x, d));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.nnz()));
+}
+BENCHMARK(BM_SpTMM)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_FactorizationLoss(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const SparseMatrix x = MakeSparse(n, n / 2, 10, 5);
+  Rng rng(6);
+  const DenseMatrix u = DenseMatrix::Random(n, 3, &rng, 0.0, 1.0);
+  const DenseMatrix v = DenseMatrix::Random(n / 2, 3, &rng, 0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FactorizationLossSquared(x, u, v));
+  }
+}
+BENCHMARK(BM_FactorizationLoss)->Arg(2000)->Arg(20000);
+
+/// One full offline sweep (all five update rules) on a synthetic problem of
+/// n tweets, n/4 users, 5000 features, k = 3.
+void BM_OfflineIteration(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t m = n / 4;
+  const size_t l = 5000;
+  const size_t k = 3;
+  const SparseMatrix xp = MakeSparse(n, l, 12, 7);
+  const SparseMatrix xu = MakeSparse(m, l, 40, 8);
+  const SparseMatrix xr = MakeSparse(m, n, 5, 9);
+  const UserGraph gu = [&] {
+    Rng rng(10);
+    std::vector<UserGraph::Edge> edges;
+    for (size_t i = 0; i < m; ++i) {
+      edges.push_back({i, rng.NextUint64Below(m), 1.0});
+    }
+    return UserGraph::FromEdges(m, edges);
+  }();
+  Rng rng(11);
+  DenseMatrix sp = DenseMatrix::Random(n, k, &rng, 0.1, 1.0);
+  DenseMatrix su = DenseMatrix::Random(m, k, &rng, 0.1, 1.0);
+  DenseMatrix sf = DenseMatrix::Random(l, k, &rng, 0.1, 1.0);
+  DenseMatrix hp = DenseMatrix::Random(k, k, &rng, 0.1, 1.0);
+  DenseMatrix hu = DenseMatrix::Random(k, k, &rng, 0.1, 1.0);
+  const DenseMatrix sf0 = DenseMatrix::Random(l, k, &rng, 0.1, 1.0);
+
+  for (auto _ : state) {
+    update::UpdateSp(xp, xr, sf, hp, su, &sp, 1e-12);
+    update::UpdateHp(xp, sp, sf, &hp, 1e-12);
+    update::UpdateSu(xu, xr, gu, sf, hu, sp, 0.8, nullptr, nullptr, &su,
+                     1e-12);
+    update::UpdateHu(xu, su, sf, &hu, 1e-12);
+    update::UpdateSf(xp, xu, sp, su, hp, hu, 0.05, sf0, &sf, 1e-12);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(xp.nnz() + xu.nnz() + xr.nnz()));
+}
+BENCHMARK(BM_OfflineIteration)->Arg(2000)->Arg(10000)->Arg(40000);
+
+void BM_Tokenize(benchmark::State& state) {
+  const SyntheticDataset d = GenerateSynthetic(Prop30LikeConfig());
+  const Tokenizer tokenizer;
+  size_t tweets = 0;
+  for (auto _ : state) {
+    for (const Tweet& t : d.corpus.tweets()) {
+      benchmark::DoNotOptimize(tokenizer.Tokenize(t.text));
+      ++tweets;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(tweets));
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_VectorizerFitTransform(benchmark::State& state) {
+  const SyntheticDataset d = GenerateSynthetic(Prop30LikeConfig());
+  const Tokenizer tokenizer;
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(d.corpus.num_tweets());
+  for (const Tweet& t : d.corpus.tweets()) {
+    docs.push_back(tokenizer.Tokenize(t.text));
+  }
+  for (auto _ : state) {
+    DocumentVectorizer vectorizer;
+    benchmark::DoNotOptimize(vectorizer.FitTransform(docs));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(docs.size()));
+}
+BENCHMARK(BM_VectorizerFitTransform);
+
+void BM_SparseTranspose(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const SparseMatrix x = MakeSparse(n, 5000, 12, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.Transposed());
+  }
+}
+BENCHMARK(BM_SparseTranspose)->Arg(10000)->Arg(50000);
+
+}  // namespace
+}  // namespace triclust
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/// Robustness sweep over prior-lexicon quality: accuracy of offline
+/// tri-clustering as a function of lexicon coverage and polarity-error
+/// rate. Backs the paper's positioning that the framework "does not require
+/// any labeling or input from human" beyond a (possibly automatically
+/// built, hence imperfect) word list — quality should degrade gracefully,
+/// not collapse, as the prior gets worse.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/core/offline.h"
+#include "src/eval/metrics.h"
+#include "src/util/table_writer.h"
+
+namespace triclust {
+namespace {
+
+void Run() {
+  bench_util::PrintHeader(
+      "Robustness: accuracy vs prior-lexicon coverage and error rate");
+  // Regenerate once; derive priors of varying quality from the same truth.
+  const SyntheticDataset dataset = GenerateSynthetic(Prop30LikeConfig());
+  MatrixBuilder builder;
+  builder.Fit(dataset.corpus);
+  const DatasetMatrices data = builder.BuildAll(dataset.corpus);
+
+  TriClusterConfig config;
+  config.max_iterations = 60;
+  config.track_loss = false;
+
+  TableWriter coverage_table(
+      "Tweet/user accuracy (%) vs lexicon coverage (error rate 5%)");
+  coverage_table.SetHeader({"coverage", "tweet acc", "user acc",
+                            "tweet NMI"});
+  for (const double coverage : {1.0, 0.8, 0.6, 0.4, 0.2, 0.05}) {
+    const SentimentLexicon lexicon =
+        CorruptLexicon(dataset.true_lexicon, coverage, 0.05, 99);
+    const DenseMatrix sf0 =
+        lexicon.BuildSf0(builder.vocabulary(), config.num_clusters);
+    const TriClusterResult r = OfflineTriClusterer(config).Run(data, sf0);
+    coverage_table.AddRow(
+        {TableWriter::Num(coverage, 2),
+         TableWriter::Num(100.0 * ClusteringAccuracy(r.TweetClusters(),
+                                                     data.tweet_labels)),
+         TableWriter::Num(100.0 * ClusteringAccuracy(r.UserClusters(),
+                                                     data.user_labels)),
+         TableWriter::Num(100.0 * NormalizedMutualInformation(
+                                      r.TweetClusters(),
+                                      data.tweet_labels))});
+  }
+  coverage_table.Print(std::cout);
+
+  TableWriter error_table(
+      "Tweet/user accuracy (%) vs lexicon error rate (coverage 60%)");
+  error_table.SetHeader({"error rate", "tweet acc", "user acc",
+                         "tweet NMI"});
+  for (const double error : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+    const SentimentLexicon lexicon =
+        CorruptLexicon(dataset.true_lexicon, 0.6, error, 99);
+    const DenseMatrix sf0 =
+        lexicon.BuildSf0(builder.vocabulary(), config.num_clusters);
+    const TriClusterResult r = OfflineTriClusterer(config).Run(data, sf0);
+    error_table.AddRow(
+        {TableWriter::Num(error, 2),
+         TableWriter::Num(100.0 * ClusteringAccuracy(r.TweetClusters(),
+                                                     data.tweet_labels)),
+         TableWriter::Num(100.0 * ClusteringAccuracy(r.UserClusters(),
+                                                     data.user_labels)),
+         TableWriter::Num(100.0 * NormalizedMutualInformation(
+                                      r.TweetClusters(),
+                                      data.tweet_labels))});
+  }
+  error_table.Print(std::cout);
+  std::cout << "\nShape to check: graceful degradation — accuracy falls "
+               "with prior quality but stays well above chance even at low "
+               "coverage, because the co-clustering propagates sentiment "
+               "from covered words to co-occurring ones.\n";
+}
+
+}  // namespace
+}  // namespace triclust
+
+int main() {
+  triclust::Run();
+  return 0;
+}

@@ -1,0 +1,79 @@
+#ifndef TRICLUST_BENCH_TIMELINE_FIGURE_H_
+#define TRICLUST_BENCH_TIMELINE_FIGURE_H_
+
+/// Shared driver of the paper's Figure 11/12 benches: runs the online,
+/// mini-batch and full-batch processing modes over a per-day stream and
+/// prints the three per-day series (running time, tweet-level accuracy,
+/// user-level accuracy) plus a whole-stream summary.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/core/timeline.h"
+#include "src/data/snapshots.h"
+#include "src/util/table_writer.h"
+
+namespace triclust {
+namespace bench_fig {
+
+inline OnlineConfig TimelineConfig() {
+  OnlineConfig config;
+  config.base.max_iterations = 60;
+  config.base.track_loss = false;
+  return config;
+}
+
+inline void RunTimelineFigure(const char* title,
+                              const bench_util::BenchDataset& b) {
+  bench_util::PrintHeader(title);
+  const std::vector<Snapshot> snapshots = SplitByDay(b.dataset.corpus);
+  const OnlineConfig config = TimelineConfig();
+
+  const auto online = RunTimeline(b.dataset.corpus, b.builder, snapshots,
+                                  b.lexicon, TimelineMode::kOnline, config);
+  const auto mini = RunTimeline(b.dataset.corpus, b.builder, snapshots,
+                                b.lexicon, TimelineMode::kMiniBatch, config);
+  const auto full = RunTimeline(b.dataset.corpus, b.builder, snapshots,
+                                b.lexicon, TimelineMode::kFullBatch, config);
+
+  TableWriter table("Per-day series (cf. paper Fig. 11/12 a,b,c)");
+  table.SetHeader({"day", "n(t)", "t_onl(ms)", "t_mini(ms)", "t_full(ms)",
+                   "tw_onl", "tw_mini", "tw_full", "us_onl", "us_mini",
+                   "us_full"});
+  for (size_t s = 0; s < snapshots.size(); ++s) {
+    table.AddRow({std::to_string(online[s].day),
+                  std::to_string(online[s].num_tweets),
+                  TableWriter::Num(online[s].seconds * 1e3, 1),
+                  TableWriter::Num(mini[s].seconds * 1e3, 1),
+                  TableWriter::Num(full[s].seconds * 1e3, 1),
+                  TableWriter::Num(online[s].tweet_accuracy, 1),
+                  TableWriter::Num(mini[s].tweet_accuracy, 1),
+                  TableWriter::Num(full[s].tweet_accuracy, 1),
+                  TableWriter::Num(online[s].user_accuracy, 1),
+                  TableWriter::Num(mini[s].user_accuracy, 1),
+                  TableWriter::Num(full[s].user_accuracy, 1)});
+  }
+  table.Print(std::cout);
+
+  TableWriter summary("Stream summary");
+  summary.SetHeader({"mode", "total time (s)", "avg tweet acc",
+                     "avg user acc"});
+  auto add = [&](const char* name,
+                 const std::vector<TimelineStepMetrics>& steps) {
+    summary.AddRow({name, TableWriter::Num(TotalSeconds(steps), 3),
+                    TableWriter::Num(AverageTweetAccuracy(steps), 2),
+                    TableWriter::Num(AverageUserAccuracy(steps), 2)});
+  };
+  add("online", online);
+  add("mini-batch", mini);
+  add("full-batch", full);
+  summary.Print(std::cout);
+  std::cout << "\nPaper shape to check: online ≈ full-batch accuracy at a "
+               "fraction of full-batch time; mini-batch cheapest but least "
+               "accurate.\n";
+}
+
+}  // namespace bench_fig
+}  // namespace triclust
+
+#endif  // TRICLUST_BENCH_TIMELINE_FIGURE_H_

@@ -1,0 +1,34 @@
+#include "src/baselines/aggregation.h"
+
+#include "src/util/logging.h"
+
+namespace triclust {
+
+std::vector<Sentiment> AggregateTweetsToUsers(
+    const DatasetMatrices& data,
+    const std::vector<Sentiment>& tweet_predictions) {
+  TRICLUST_CHECK_EQ(tweet_predictions.size(), data.num_tweets());
+  std::vector<Sentiment> out(data.num_users(), Sentiment::kUnlabeled);
+  const auto& row_ptr = data.xr.row_ptr();
+  const auto& col_idx = data.xr.col_idx();
+  const auto& values = data.xr.values();
+  for (size_t u = 0; u < data.num_users(); ++u) {
+    double votes[kNumSentimentClasses] = {0.0, 0.0, 0.0};
+    bool any = false;
+    for (size_t p = row_ptr[u]; p < row_ptr[u + 1]; ++p) {
+      const Sentiment s = tweet_predictions[col_idx[p]];
+      if (s == Sentiment::kUnlabeled) continue;
+      votes[SentimentIndex(s)] += values[p];
+      any = true;
+    }
+    if (!any) continue;
+    int best = 0;
+    for (int c = 1; c < kNumSentimentClasses; ++c) {
+      if (votes[c] > votes[best]) best = c;
+    }
+    out[u] = SentimentFromIndex(best);
+  }
+  return out;
+}
+
+}  // namespace triclust

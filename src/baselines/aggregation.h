@@ -1,0 +1,27 @@
+#ifndef TRICLUST_SRC_BASELINES_AGGREGATION_H_
+#define TRICLUST_SRC_BASELINES_AGGREGATION_H_
+
+#include <vector>
+
+#include "src/data/matrix_builder.h"
+#include "src/text/sentiment.h"
+
+namespace triclust {
+
+/// Estimates user-level sentiment by majority vote over the user's tweets'
+/// predicted sentiments — the simple aggregation of Smith et al. [28] and
+/// Deng et al. [7] that the paper argues is biased by noisy tweet-level
+/// signals. Used to produce the user-level rows of supervised baselines
+/// (SVM/NB/LP) in Table 5, and in tests demonstrating the bias the
+/// tri-clustering coupling removes.
+///
+/// Votes flow along the Xr incidence (posts and retweets). Users whose
+/// tweets are all unpredicted get kUnlabeled; ties break toward the
+/// lower class index.
+std::vector<Sentiment> AggregateTweetsToUsers(
+    const DatasetMatrices& data,
+    const std::vector<Sentiment>& tweet_predictions);
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_BASELINES_AGGREGATION_H_

@@ -1,0 +1,180 @@
+#include "src/baselines/bacg.h"
+
+#include <cmath>
+
+#include "src/matrix/dense_matrix.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace triclust {
+
+namespace {
+
+/// L2 norms of each CSR row.
+std::vector<double> RowNorms(const SparseMatrix& x) {
+  std::vector<double> norms(x.rows(), 0.0);
+  const auto& row_ptr = x.row_ptr();
+  const auto& values = x.values();
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double sq = 0.0;
+    for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      sq += values[p] * values[p];
+    }
+    norms[i] = std::sqrt(sq);
+  }
+  return norms;
+}
+
+struct BacgRun {
+  std::vector<int> assignment;
+  double objective = -std::numeric_limits<double>::infinity();
+};
+
+/// One classification-EM run of the attributed mixture: multinomial
+/// components over the content rows plus a homophily vote over the graph.
+BacgRun RunOnce(const SparseMatrix& xu, const UserGraph& gu,
+                const BacgOptions& options, uint64_t seed) {
+  const size_t m = xu.rows();
+  const size_t l = xu.cols();
+  const size_t k = static_cast<size_t>(options.num_clusters);
+  Rng rng(seed);
+
+  const std::vector<double> row_norms = RowNorms(xu);
+  const auto& row_ptr = xu.row_ptr();
+  const auto& col_idx = xu.col_idx();
+  const auto& values = xu.values();
+
+  BacgRun run;
+  run.assignment.assign(m, 0);
+
+  // k-means++-style seeding by content cosine distance: spread-out seed
+  // users keep the initial components apart (uniform random assignments
+  // make all centroids equal to the corpus mean and EM collapses).
+  std::vector<size_t> seeds;
+  seeds.push_back(rng.NextUint64Below(m));
+  auto cosine = [&](size_t a, size_t b) {
+    if (row_norms[a] <= 0.0 || row_norms[b] <= 0.0) return 0.0;
+    double dot = 0.0;
+    size_t pa = row_ptr[a];
+    size_t pb = row_ptr[b];
+    while (pa < row_ptr[a + 1] && pb < row_ptr[b + 1]) {
+      if (col_idx[pa] < col_idx[pb]) {
+        ++pa;
+      } else if (col_idx[pa] > col_idx[pb]) {
+        ++pb;
+      } else {
+        dot += values[pa] * values[pb];
+        ++pa;
+        ++pb;
+      }
+    }
+    return dot / (row_norms[a] * row_norms[b]);
+  };
+  while (seeds.size() < k) {
+    std::vector<double> dist(m, 0.0);
+    for (size_t u = 0; u < m; ++u) {
+      double closest = 2.0;
+      for (size_t s : seeds) closest = std::min(closest, 1.0 - cosine(u, s));
+      dist[u] = closest * closest;
+    }
+    seeds.push_back(rng.Categorical(dist));
+  }
+  for (size_t u = 0; u < m; ++u) {
+    size_t best = 0;
+    double best_sim = -2.0;
+    for (size_t c = 0; c < k; ++c) {
+      const double sim = cosine(u, seeds[c]);
+      if (sim > best_sim) {
+        best_sim = sim;
+        best = c;
+      }
+    }
+    run.assignment[u] = static_cast<int>(best);
+  }
+
+  constexpr double kSmoothing = 0.05;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // M-step: multinomial parameters log θ_cf and mixing proportions.
+    DenseMatrix counts(k, l, 0.0);
+    std::vector<double> mass(k, 0.0);
+    std::vector<double> sizes(k, 0.0);
+    for (size_t u = 0; u < m; ++u) {
+      const size_t c = static_cast<size_t>(run.assignment[u]);
+      sizes[c] += 1.0;
+      for (size_t p = row_ptr[u]; p < row_ptr[u + 1]; ++p) {
+        counts(c, col_idx[p]) += values[p];
+        mass[c] += values[p];
+      }
+    }
+    DenseMatrix log_theta(k, l, 0.0);
+    std::vector<double> log_prior(k, 0.0);
+    for (size_t c = 0; c < k; ++c) {
+      const double denom = mass[c] + kSmoothing * static_cast<double>(l);
+      for (size_t f = 0; f < l; ++f) {
+        log_theta(c, f) = std::log((counts(c, f) + kSmoothing) / denom);
+      }
+      log_prior[c] =
+          std::log((sizes[c] + 1.0) / (static_cast<double>(m) +
+                                       static_cast<double>(k)));
+    }
+
+    // E-step (hard): content log-likelihood + scaled homophily vote.
+    bool changed = false;
+    double objective = 0.0;
+    std::vector<int> next(m);
+    for (size_t u = 0; u < m; ++u) {
+      std::vector<double> score(k, 0.0);
+      for (size_t c = 0; c < k; ++c) score[c] = log_prior[c];
+      double content_mass = 0.0;
+      for (size_t p = row_ptr[u]; p < row_ptr[u + 1]; ++p) {
+        content_mass += values[p];
+        for (size_t c = 0; c < k; ++c) {
+          score[c] += values[p] * log_theta(c, col_idx[p]);
+        }
+      }
+      const double degree = gu.Degree(u);
+      if (degree > 0.0) {
+        // The vote is scaled by the user's content mass so structure and
+        // content stay commensurate for active and quiet users alike.
+        std::vector<double> vote(k, 0.0);
+        for (const auto& nb : gu.Neighbors(u)) {
+          vote[static_cast<size_t>(run.assignment[nb.node])] += nb.weight;
+        }
+        const double scale =
+            options.structure_weight * (1.0 + content_mass);
+        for (size_t c = 0; c < k; ++c) {
+          score[c] += scale * vote[c] / degree;
+        }
+      }
+      size_t best = 0;
+      for (size_t c = 1; c < k; ++c) {
+        if (score[c] > score[best]) best = c;
+      }
+      next[u] = static_cast<int>(best);
+      objective += score[best];
+      changed |= (next[u] != run.assignment[u]);
+    }
+    run.assignment = std::move(next);
+    run.objective = objective;
+    if (!changed) break;
+  }
+  return run;
+}
+
+}  // namespace
+
+std::vector<int> RunBacg(const SparseMatrix& xu, const UserGraph& gu,
+                         const BacgOptions& options) {
+  TRICLUST_CHECK_EQ(xu.rows(), gu.num_nodes());
+  TRICLUST_CHECK_GE(options.num_clusters, 2);
+  TRICLUST_CHECK_GE(options.restarts, 1);
+  BacgRun best;
+  for (int r = 0; r < options.restarts; ++r) {
+    BacgRun run = RunOnce(xu, gu, options,
+                          options.seed + static_cast<uint64_t>(r) * 101);
+    if (run.objective > best.objective) best = std::move(run);
+  }
+  return best.assignment;
+}
+
+}  // namespace triclust

@@ -1,0 +1,37 @@
+#include "src/baselines/essa.h"
+
+#include "src/core/offline.h"
+#include "src/data/matrix_builder.h"
+#include "src/util/logging.h"
+
+namespace triclust {
+
+TriClusterResult RunEssa(const SparseMatrix& xp, const DenseMatrix& sf0,
+                         const EssaOptions& options) {
+  TRICLUST_CHECK_EQ(xp.cols(), sf0.rows());
+  // Empty user side: 0 users, so the Xu/Xr/Gu terms vanish identically and
+  // the solver reduces to ESSA's lexicon-regularized ONMTF of Xp.
+  DatasetMatrices data;
+  data.xp = xp;
+  {
+    SparseMatrix::Builder xu_builder(0, xp.cols());
+    data.xu = xu_builder.Build();
+    SparseMatrix::Builder xr_builder(0, xp.rows());
+    data.xr = xr_builder.Build();
+  }
+  data.gu = UserGraph(0);
+  data.tweet_ids.resize(xp.rows());
+  for (size_t i = 0; i < xp.rows(); ++i) data.tweet_ids[i] = i;
+
+  TriClusterConfig config;
+  config.num_clusters = options.num_clusters;
+  config.alpha = options.emotion_weight;
+  config.beta = 0.0;
+  config.max_iterations = options.max_iterations;
+  config.tolerance = options.tolerance;
+  config.seed = options.seed;
+  config.init = options.init;
+  return OfflineTriClusterer(config).Run(data, sf0);
+}
+
+}  // namespace triclust

@@ -1,0 +1,53 @@
+#include "src/baselines/lexicon_vote.h"
+
+#include "src/text/tokenizer.h"
+#include "src/util/logging.h"
+
+namespace triclust {
+
+std::vector<Sentiment> LexiconVote(const SparseMatrix& x,
+                                   const Vocabulary& vocabulary,
+                                   const SentimentLexicon& lexicon,
+                                   int num_classes) {
+  TRICLUST_CHECK_EQ(x.cols(), vocabulary.size());
+  TRICLUST_CHECK_GE(num_classes, 2);
+
+  // Precompute each feature's polarity once (emoticon pseudo-tokens count).
+  std::vector<int> polarity(vocabulary.size(), -1);
+  for (size_t f = 0; f < vocabulary.size(); ++f) {
+    const std::string& token = vocabulary.TokenOf(f);
+    Sentiment s = lexicon.PolarityOf(token);
+    if (s == Sentiment::kUnlabeled) {
+      if (token == kPositiveEmoticonToken) s = Sentiment::kPositive;
+      if (token == kNegativeEmoticonToken) s = Sentiment::kNegative;
+    }
+    if (s != Sentiment::kUnlabeled && SentimentIndex(s) < num_classes) {
+      polarity[f] = SentimentIndex(s);
+    }
+  }
+
+  const bool has_neutral = num_classes > SentimentIndex(Sentiment::kNeutral);
+  std::vector<Sentiment> out(x.rows(), Sentiment::kUnlabeled);
+  const auto& row_ptr = x.row_ptr();
+  const auto& col_idx = x.col_idx();
+  const auto& values = x.values();
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double pos = 0.0;
+    double neg = 0.0;
+    for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const int cls = polarity[col_idx[p]];
+      if (cls == SentimentIndex(Sentiment::kPositive)) pos += values[p];
+      if (cls == SentimentIndex(Sentiment::kNegative)) neg += values[p];
+    }
+    if (pos > neg) {
+      out[i] = Sentiment::kPositive;
+    } else if (neg > pos) {
+      out[i] = Sentiment::kNegative;
+    } else if (has_neutral) {
+      out[i] = Sentiment::kNeutral;  // no signal or tie
+    }
+  }
+  return out;
+}
+
+}  // namespace triclust

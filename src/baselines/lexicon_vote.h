@@ -1,0 +1,27 @@
+#ifndef TRICLUST_SRC_BASELINES_LEXICON_VOTE_H_
+#define TRICLUST_SRC_BASELINES_LEXICON_VOTE_H_
+
+#include <vector>
+
+#include "src/matrix/sparse_matrix.h"
+#include "src/text/lexicon.h"
+#include "src/text/sentiment.h"
+#include "src/text/vocabulary.h"
+
+namespace triclust {
+
+/// The classical lexicon-vote classifier (MPQA-style [33]): each document's
+/// sentiment is the weighted vote of its lexicon-covered words; documents
+/// with no covered word (or a tie) are neutral when `k` includes neutral,
+/// otherwise kUnlabeled. The weakest baseline in the paper's lineage — the
+/// floor every learning method should beat — and also exactly the signal
+/// the tri-clustering framework starts from (Sf0), making the gap between
+/// this row and tri-clustering the measure of what co-clustering adds.
+std::vector<Sentiment> LexiconVote(const SparseMatrix& x,
+                                   const Vocabulary& vocabulary,
+                                   const SentimentLexicon& lexicon,
+                                   int num_classes = kNumSentimentClasses);
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_BASELINES_LEXICON_VOTE_H_

@@ -1,0 +1,114 @@
+#include "src/baselines/linear_svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace triclust {
+
+LinearSvm::LinearSvm(SvmOptions options) : options_(options) {
+  TRICLUST_CHECK_GE(options_.num_classes, 2);
+  TRICLUST_CHECK_GT(options_.lambda, 0.0);
+  TRICLUST_CHECK_GE(options_.epochs, 1);
+}
+
+void LinearSvm::Train(const SparseMatrix& x,
+                      const std::vector<Sentiment>& labels) {
+  TRICLUST_CHECK_EQ(x.rows(), labels.size());
+  const size_t k = static_cast<size_t>(options_.num_classes);
+  const size_t l = x.cols();
+
+  std::vector<size_t> train_rows;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] != Sentiment::kUnlabeled &&
+        SentimentIndex(labels[i]) < options_.num_classes) {
+      train_rows.push_back(i);
+    }
+  }
+  TRICLUST_CHECK(!train_rows.empty());
+
+  // Pegasos with the weight-scale trick: w = scale·v. The per-step L2
+  // shrink multiplies `scale`; margin violations update `v` (divided by
+  // `scale`), so each step touches only the row's non-zeros.
+  weights_ = DenseMatrix(k, l, 0.0);
+  bias_.assign(k, 0.0);
+  std::vector<double> scale(k, 1.0);
+
+  const auto& row_ptr = x.row_ptr();
+  const auto& col_idx = x.col_idx();
+  const auto& values = x.values();
+
+  Rng rng(options_.seed);
+  size_t step = 1;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    const std::vector<size_t> perm = rng.Permutation(train_rows.size());
+    for (size_t pi : perm) {
+      const size_t i = train_rows[pi];
+      ++step;  // starts at 2 so the first shrink factor is not 0
+      const double eta =
+          1.0 / (options_.lambda * static_cast<double>(step));
+      const int truth = SentimentIndex(labels[i]);
+
+      for (size_t c = 0; c < k; ++c) {
+        const double y = (static_cast<int>(c) == truth) ? 1.0 : -1.0;
+        double dot = 0.0;
+        for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+          dot += weights_(c, col_idx[p]) * values[p];
+        }
+        const double margin = y * (scale[c] * dot + bias_[c]);
+
+        scale[c] *= 1.0 - eta * options_.lambda;
+        // Renormalize if the scale underflows toward zero.
+        if (scale[c] < 1e-9) {
+          for (size_t f = 0; f < l; ++f) weights_(c, f) *= scale[c];
+          scale[c] = 1.0;
+        }
+        if (margin < 1.0) {
+          const double push = eta * y / scale[c];
+          for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+            weights_(c, col_idx[p]) += push * values[p];
+          }
+          bias_[c] += eta * y * 0.1;  // damped unregularized bias
+        }
+      }
+    }
+  }
+  // Fold the scales into the weights.
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t f = 0; f < l; ++f) weights_(c, f) *= scale[c];
+  }
+  trained_ = true;
+}
+
+DenseMatrix LinearSvm::DecisionFunction(const SparseMatrix& x) const {
+  TRICLUST_CHECK(trained_);
+  TRICLUST_CHECK_EQ(x.cols(), weights_.cols());
+  const size_t k = static_cast<size_t>(options_.num_classes);
+  DenseMatrix margins(x.rows(), k, 0.0);
+  const auto& row_ptr = x.row_ptr();
+  const auto& col_idx = x.col_idx();
+  const auto& values = x.values();
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t c = 0; c < k; ++c) {
+      double margin = bias_[c];
+      for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+        margin += weights_(c, col_idx[p]) * values[p];
+      }
+      margins(i, c) = margin;
+    }
+  }
+  return margins;
+}
+
+std::vector<Sentiment> LinearSvm::Predict(const SparseMatrix& x) const {
+  const DenseMatrix margins = DecisionFunction(x);
+  std::vector<Sentiment> out(x.rows(), Sentiment::kUnlabeled);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    out[i] = SentimentFromIndex(static_cast<int>(margins.ArgMaxRow(i)));
+  }
+  return out;
+}
+
+}  // namespace triclust

@@ -1,0 +1,52 @@
+#ifndef TRICLUST_SRC_BASELINES_LINEAR_SVM_H_
+#define TRICLUST_SRC_BASELINES_LINEAR_SVM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/matrix/dense_matrix.h"
+#include "src/matrix/sparse_matrix.h"
+#include "src/text/sentiment.h"
+
+namespace triclust {
+
+/// Options of the linear SVM trainer.
+struct SvmOptions {
+  int num_classes = kNumSentimentClasses;
+  /// L2 regularization strength λ of the Pegasos objective.
+  double lambda = 1e-4;
+  /// Passes over the training data.
+  int epochs = 12;
+  uint64_t seed = 11;
+};
+
+/// One-vs-rest linear SVM trained with Pegasos-style SGD on the hinge loss:
+/// the supervised SVM baseline of the paper's Tables 4/5 (Smith et al.
+/// [28] use unigram-feature SVMs). Sparse-friendly: each SGD step touches
+/// only the non-zeros of one row.
+class LinearSvm {
+ public:
+  explicit LinearSvm(SvmOptions options = {});
+
+  /// Trains per-class hyperplanes on the labeled rows of `x`.
+  void Train(const SparseMatrix& x, const std::vector<Sentiment>& labels);
+
+  /// Highest-margin class per row. Requires Train().
+  std::vector<Sentiment> Predict(const SparseMatrix& x) const;
+
+  /// Raw per-class margins, n×k. Requires Train().
+  DenseMatrix DecisionFunction(const SparseMatrix& x) const;
+
+  bool trained() const { return trained_; }
+
+ private:
+  SvmOptions options_;
+  bool trained_ = false;
+  /// classes × features weight matrix.
+  DenseMatrix weights_;
+  std::vector<double> bias_;
+};
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_BASELINES_LINEAR_SVM_H_

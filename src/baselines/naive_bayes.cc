@@ -1,0 +1,99 @@
+#include "src/baselines/naive_bayes.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace triclust {
+
+MultinomialNaiveBayes::MultinomialNaiveBayes(int num_classes,
+                                             double smoothing)
+    : num_classes_(num_classes), smoothing_(smoothing) {
+  TRICLUST_CHECK_GE(num_classes_, 2);
+  TRICLUST_CHECK_GT(smoothing_, 0.0);
+}
+
+void MultinomialNaiveBayes::Train(const SparseMatrix& x,
+                                  const std::vector<Sentiment>& labels) {
+  TRICLUST_CHECK_EQ(x.rows(), labels.size());
+  const size_t k = static_cast<size_t>(num_classes_);
+  const size_t l = x.cols();
+
+  std::vector<double> class_docs(k, 0.0);
+  DenseMatrix counts(k, l, 0.0);
+  std::vector<double> class_tokens(k, 0.0);
+
+  const auto& row_ptr = x.row_ptr();
+  const auto& col_idx = x.col_idx();
+  const auto& values = x.values();
+  for (size_t i = 0; i < x.rows(); ++i) {
+    if (labels[i] == Sentiment::kUnlabeled) continue;
+    const size_t c = static_cast<size_t>(SentimentIndex(labels[i]));
+    if (c >= k) continue;
+    class_docs[c] += 1.0;
+    for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      counts(c, col_idx[p]) += values[p];
+      class_tokens[c] += values[p];
+    }
+  }
+
+  double total_docs = 0.0;
+  for (double d : class_docs) total_docs += d;
+  TRICLUST_CHECK_GT(total_docs, 0.0);
+
+  log_prior_.assign(k, 0.0);
+  log_likelihood_ = DenseMatrix(k, l, 0.0);
+  for (size_t c = 0; c < k; ++c) {
+    // Unseen classes get the uniform prior floor rather than -inf so
+    // prediction still produces finite scores.
+    log_prior_[c] =
+        std::log((class_docs[c] + 1.0) / (total_docs + static_cast<double>(k)));
+    const double denom =
+        class_tokens[c] + smoothing_ * static_cast<double>(l);
+    for (size_t f = 0; f < l; ++f) {
+      log_likelihood_(c, f) = std::log((counts(c, f) + smoothing_) / denom);
+    }
+  }
+  trained_ = true;
+}
+
+DenseMatrix MultinomialNaiveBayes::PredictProba(const SparseMatrix& x) const {
+  TRICLUST_CHECK(trained_);
+  TRICLUST_CHECK_EQ(x.cols(), log_likelihood_.cols());
+  const size_t k = static_cast<size_t>(num_classes_);
+  DenseMatrix proba(x.rows(), k, 0.0);
+
+  const auto& row_ptr = x.row_ptr();
+  const auto& col_idx = x.col_idx();
+  const auto& values = x.values();
+  std::vector<double> scores(k);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t c = 0; c < k; ++c) scores[c] = log_prior_[c];
+    for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      for (size_t c = 0; c < k; ++c) {
+        scores[c] += values[p] * log_likelihood_(c, col_idx[p]);
+      }
+    }
+    double max_score = scores[0];
+    for (size_t c = 1; c < k; ++c) max_score = std::max(max_score, scores[c]);
+    double norm = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      proba(i, c) = std::exp(scores[c] - max_score);
+      norm += proba(i, c);
+    }
+    for (size_t c = 0; c < k; ++c) proba(i, c) /= norm;
+  }
+  return proba;
+}
+
+std::vector<Sentiment> MultinomialNaiveBayes::Predict(
+    const SparseMatrix& x) const {
+  const DenseMatrix proba = PredictProba(x);
+  std::vector<Sentiment> out(x.rows(), Sentiment::kUnlabeled);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    out[i] = SentimentFromIndex(static_cast<int>(proba.ArgMaxRow(i)));
+  }
+  return out;
+}
+
+}  // namespace triclust

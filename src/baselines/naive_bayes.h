@@ -1,0 +1,44 @@
+#ifndef TRICLUST_SRC_BASELINES_NAIVE_BAYES_H_
+#define TRICLUST_SRC_BASELINES_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "src/matrix/dense_matrix.h"
+#include "src/matrix/sparse_matrix.h"
+#include "src/text/sentiment.h"
+
+namespace triclust {
+
+/// Multinomial Naive Bayes over tweet–feature rows: the supervised NB
+/// baseline of the paper's Tables 4/5 (Go et al. [11]). Laplace-smoothed
+/// log-likelihoods; rows with kUnlabeled labels are ignored at training.
+class MultinomialNaiveBayes {
+ public:
+  /// `smoothing` is the Laplace pseudo-count per (class, feature).
+  explicit MultinomialNaiveBayes(int num_classes = kNumSentimentClasses,
+                                 double smoothing = 1.0);
+
+  /// Fits class priors and per-class word distributions from the labeled
+  /// rows of `x`.
+  void Train(const SparseMatrix& x, const std::vector<Sentiment>& labels);
+
+  /// Most likely class of each row. Requires Train().
+  std::vector<Sentiment> Predict(const SparseMatrix& x) const;
+
+  /// Per-row posterior (softmaxed log-likelihoods), n×k. Requires Train().
+  DenseMatrix PredictProba(const SparseMatrix& x) const;
+
+  bool trained() const { return trained_; }
+
+ private:
+  int num_classes_;
+  double smoothing_;
+  bool trained_ = false;
+  std::vector<double> log_prior_;
+  /// log P(feature | class), classes × features.
+  DenseMatrix log_likelihood_;
+};
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_BASELINES_NAIVE_BAYES_H_

@@ -1,0 +1,69 @@
+#include "src/core/init.h"
+
+#include "src/matrix/ops.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace triclust {
+
+namespace {
+
+/// Adds uniform noise in [lo, hi) to every entry.
+void Jitter(DenseMatrix* m, Rng* rng, double lo, double hi) {
+  double* p = m->data();
+  for (size_t i = 0; i < m->size(); ++i) p[i] += rng->Uniform(lo, hi);
+}
+
+}  // namespace
+
+FactorSet InitializeFactors(const DatasetMatrices& data,
+                            const DenseMatrix& sf0,
+                            const TriClusterConfig& config) {
+  const size_t n = data.num_tweets();
+  const size_t m = data.num_users();
+  const size_t l = data.num_features();
+  const size_t k = static_cast<size_t>(config.num_clusters);
+  TRICLUST_CHECK_EQ(sf0.rows(), l);
+  TRICLUST_CHECK_EQ(sf0.cols(), k);
+  Rng rng(config.seed);
+
+  FactorSet f;
+  switch (config.init) {
+    case InitStrategy::kRandom: {
+      f.sp = DenseMatrix::Random(n, k, &rng, 0.1, 1.0);
+      f.su = DenseMatrix::Random(m, k, &rng, 0.1, 1.0);
+      f.sf = DenseMatrix::Random(l, k, &rng, 0.1, 1.0);
+      f.hp = DenseMatrix::Random(k, k, &rng, 0.1, 1.0);
+      f.hu = DenseMatrix::Random(k, k, &rng, 0.1, 1.0);
+      break;
+    }
+    case InitStrategy::kLexiconSeeded: {
+      f.sf = sf0;
+      Jitter(&f.sf, &rng, 0.0, 0.02);
+
+      // Score tweets/users against the prior and normalize, so each row
+      // starts as a soft lexicon-vote distribution.
+      f.sp = SpMM(data.xp, sf0);
+      f.sp.NormalizeRowsL1();
+      Jitter(&f.sp, &rng, 0.01, 0.05);
+
+      f.su = SpMM(data.xu, sf0);
+      f.su.NormalizeRowsL1();
+      Jitter(&f.su, &rng, 0.01, 0.05);
+
+      // Associations start near identity: cluster c of tweets/users aligns
+      // with cluster c of features.
+      f.hp = DenseMatrix::Identity(k);
+      Jitter(&f.hp, &rng, 0.01, 0.05);
+      f.hu = DenseMatrix::Identity(k);
+      Jitter(&f.hu, &rng, 0.01, 0.05);
+      break;
+    }
+  }
+  TRICLUST_CHECK(IsNonNegative(f.sp));
+  TRICLUST_CHECK(IsNonNegative(f.su));
+  TRICLUST_CHECK(IsNonNegative(f.sf));
+  return f;
+}
+
+}  // namespace triclust

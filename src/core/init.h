@@ -1,0 +1,29 @@
+#ifndef TRICLUST_SRC_CORE_INIT_H_
+#define TRICLUST_SRC_CORE_INIT_H_
+
+#include "src/core/config.h"
+#include "src/data/matrix_builder.h"
+#include "src/matrix/dense_matrix.h"
+
+namespace triclust {
+
+/// One complete set of factor matrices.
+struct FactorSet {
+  DenseMatrix sp;  // n×k
+  DenseMatrix su;  // m×k
+  DenseMatrix sf;  // l×k
+  DenseMatrix hp;  // k×k
+  DenseMatrix hu;  // k×k
+};
+
+/// Initializes the factors per `config.init` (Algorithm 1 line 1):
+/// kRandom draws uniform positives, kLexiconSeeded seeds Sf near Sf0 and
+/// propagates the prior through Xp/Xu into Sp/Su. All entries are strictly
+/// positive so multiplicative updates can move every coordinate.
+FactorSet InitializeFactors(const DatasetMatrices& data,
+                            const DenseMatrix& sf0,
+                            const TriClusterConfig& config);
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_CORE_INIT_H_

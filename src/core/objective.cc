@@ -1,0 +1,43 @@
+#include "src/core/objective.h"
+
+#include "src/matrix/ops.h"
+#include "src/util/logging.h"
+
+namespace triclust {
+
+LossComponents ComputeObjective(
+    const SparseMatrix& xp, const SparseMatrix& xu, const SparseMatrix& xr,
+    const UserGraph& gu, const DenseMatrix& sp, const DenseMatrix& su,
+    const DenseMatrix& sf, const DenseMatrix& hp, const DenseMatrix& hu,
+    double alpha, const DenseMatrix& sf_target, double beta,
+    const std::vector<double>* temporal_weights,
+    const DenseMatrix* temporal_target) {
+  LossComponents loss;
+  loss.xp_loss = TriFactorizationLossSquared(xp, sp, hp, sf);
+  loss.xu_loss = TriFactorizationLossSquared(xu, su, hu, sf);
+  loss.xr_loss = FactorizationLossSquared(xr, su, sp);
+  loss.lexicon_loss = alpha * FrobeniusDistanceSquared(sf, sf_target);
+  loss.graph_loss =
+      beta * GraphLaplacianQuadraticForm(gu.adjacency(), gu.degrees(), su);
+  if (temporal_weights != nullptr) {
+    TRICLUST_CHECK(temporal_target != nullptr);
+    TRICLUST_CHECK_EQ(temporal_weights->size(), su.rows());
+    double total = 0.0;
+    for (size_t i = 0; i < su.rows(); ++i) {
+      const double w = (*temporal_weights)[i];
+      if (w == 0.0) continue;
+      const double* a = su.Row(i);
+      const double* b = temporal_target->Row(i);
+      double row = 0.0;
+      for (size_t c = 0; c < su.cols(); ++c) {
+        const double diff = a[c] - b[c];
+        row += diff * diff;
+      }
+      total += w * row;
+    }
+    loss.temporal_user_loss = total;
+  }
+  return loss;
+}
+
+}  // namespace triclust

@@ -1,0 +1,27 @@
+#ifndef TRICLUST_SRC_CORE_OBJECTIVE_H_
+#define TRICLUST_SRC_CORE_OBJECTIVE_H_
+
+#include <vector>
+
+#include "src/core/result.h"
+#include "src/graph/user_graph.h"
+#include "src/matrix/dense_matrix.h"
+#include "src/matrix/sparse_matrix.h"
+
+namespace triclust {
+
+/// Evaluates every component of the tri-clustering objective (paper Eq. 1
+/// offline, Eq. 19 online) at the current factors. The temporal user term is
+/// included only when `temporal_weights`/`temporal_target` are provided
+/// (per-row γ already folded into the weights).
+LossComponents ComputeObjective(
+    const SparseMatrix& xp, const SparseMatrix& xu, const SparseMatrix& xr,
+    const UserGraph& gu, const DenseMatrix& sp, const DenseMatrix& su,
+    const DenseMatrix& sf, const DenseMatrix& hp, const DenseMatrix& hu,
+    double alpha, const DenseMatrix& sf_target, double beta,
+    const std::vector<double>* temporal_weights = nullptr,
+    const DenseMatrix* temporal_target = nullptr);
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_CORE_OBJECTIVE_H_

@@ -1,0 +1,90 @@
+#ifndef TRICLUST_SRC_CORE_ONLINE_H_
+#define TRICLUST_SRC_CORE_ONLINE_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/result.h"
+#include "src/data/matrix_builder.h"
+#include "src/matrix/dense_matrix.h"
+#include "src/util/status.h"
+
+namespace triclust {
+
+/// The online tri-clustering solver (paper §4, Algorithm 2).
+///
+/// Consumes temporal snapshots in order. For snapshot t it factorizes only
+/// the new data matrices Xp(t)/Xu(t)/Xr(t) while regularizing toward the
+/// exponentially-decayed window aggregates
+///   Sfw(t) = Σ_{i=1..w−1} τ^i·Sf(t−i)   (features evolve smoothly, Obs. 1)
+///   Suw(t) = Σ_{i=1..w−1} τ^i·Su(t−i)   (users rarely flip, Obs. 2)
+/// with weights α and γ. Users are partitioned into new (no history —
+/// Eq. 24), evolving (history — Eq. 26, extra γ pull), and disappeared
+/// (absent at t; their history is retained so they re-enter as evolving).
+///
+/// The window aggregates are normalized by Σ τ^i so they stay on the scale
+/// of one factor matrix (a numerical-stability refinement over the paper's
+/// raw sum; τ still sets the relative decay of older snapshots).
+class OnlineTriClusterer {
+ public:
+  /// `sf0` is the l×k lexicon prior, used as the feature target for the
+  /// first snapshot (no history yet) and to initialize new users.
+  OnlineTriClusterer(OnlineConfig config, DenseMatrix sf0);
+
+  /// Row partition of the current snapshot's users.
+  struct UserPartition {
+    std::vector<size_t> new_rows;
+    std::vector<size_t> evolving_rows;
+    /// Users with history that are absent from this snapshot.
+    size_t num_disappeared = 0;
+  };
+
+  /// Processes the next snapshot (matrices built against the same
+  /// vocabulary as sf0). Returns the factors for this snapshot; rows of
+  /// su/sp align with data.user_ids/data.tweet_ids.
+  TriClusterResult ProcessSnapshot(const DatasetMatrices& data);
+
+  const OnlineConfig& config() const { return config_; }
+
+  /// Number of snapshots processed so far.
+  int timestep() const { return timestep_; }
+
+  /// Feature target Sfw(t) used by the most recent ProcessSnapshot call.
+  const DenseMatrix& last_sfw() const { return last_sfw_; }
+
+  /// User partition of the most recent ProcessSnapshot call.
+  const UserPartition& last_partition() const { return last_partition_; }
+
+  /// Latest known sentiment row of a corpus user, or empty when unseen.
+  std::vector<double> UserSentiment(size_t corpus_user_id) const;
+
+  /// Checkpoints the stream state (timestep, Sf history, user histories) so
+  /// a deployment can restart mid-stream. The config and sf0 are not
+  /// persisted — construct the clusterer with the same ones, then Restore.
+  Status SaveState(const std::string& path) const;
+
+  /// Restores a checkpoint written by SaveState. The clusterer must have
+  /// been constructed with the same k and feature dimensionality.
+  Status RestoreState(const std::string& path);
+
+ private:
+  DenseMatrix ComputeSfw() const;
+
+  OnlineConfig config_;
+  DenseMatrix sf0_;
+  /// sf_history_[0] is Sf(t−1); trimmed to window−1 entries.
+  std::deque<DenseMatrix> sf_history_;
+  /// Per corpus-user history of Su rows, most recent first, trimmed to
+  /// window−1 entries.
+  std::unordered_map<size_t, std::deque<std::vector<double>>> user_history_;
+  int timestep_ = 0;
+  DenseMatrix last_sfw_;
+  UserPartition last_partition_;
+};
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_CORE_ONLINE_H_

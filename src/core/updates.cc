@@ -1,0 +1,208 @@
+#include "src/core/updates.h"
+
+#include "src/matrix/ops.h"
+#include "src/util/logging.h"
+
+namespace triclust {
+namespace update {
+
+void UpdateSf(const SparseMatrix& xp, const SparseMatrix& xu,
+              const DenseMatrix& sp, const DenseMatrix& su,
+              const DenseMatrix& hp, const DenseMatrix& hu, double alpha,
+              const DenseMatrix& sf_target, DenseMatrix* sf, double eps,
+              double sparsity) {
+  TRICLUST_CHECK(sf != nullptr);
+  const size_t l = sf->rows();
+  const size_t k = sf->cols();
+  TRICLUST_CHECK_EQ(xp.cols(), l);
+  TRICLUST_CHECK_EQ(xu.cols(), l);
+  TRICLUST_CHECK_EQ(sf_target.rows(), l);
+  TRICLUST_CHECK_EQ(sf_target.cols(), k);
+
+  // l×k data-driven pull terms.
+  const DenseMatrix xut_su_hu = MatMul(SpTMM(xu, su), hu);  // Xuᵀ·Su·Hu
+  const DenseMatrix xpt_sp_hp = MatMul(SpTMM(xp, sp), hp);  // Xpᵀ·Sp·Hp
+
+  // k×k quadratic terms.
+  const DenseMatrix sutsu = MatMulAtB(su, su);
+  const DenseMatrix sptsp = MatMulAtB(sp, sp);
+  const DenseMatrix hut_sutsu_hu = MatMulAtB(hu, MatMul(sutsu, hu));
+  const DenseMatrix hpt_sptsp_hp = MatMulAtB(hp, MatMul(sptsp, hp));
+
+  // Δ_Sf = SfᵀXuᵀSuHu − HuᵀSuᵀSuHu + SfᵀXpᵀSpHp − HpᵀSpᵀSpHp
+  //        − α·Sfᵀ(Sf − Sf_target).
+  DenseMatrix delta = MatMulAtB(*sf, xut_su_hu);
+  delta.SubInPlace(hut_sutsu_hu);
+  delta.AddInPlace(MatMulAtB(*sf, xpt_sp_hp));
+  delta.SubInPlace(hpt_sptsp_hp);
+  DenseMatrix lexicon_pull = MatMulAtB(*sf, *sf);
+  lexicon_pull.SubInPlace(MatMulAtB(*sf, sf_target));
+  delta.Axpy(-alpha, lexicon_pull);
+
+  DenseMatrix delta_pos;
+  DenseMatrix delta_neg;
+  SplitPositiveNegative(delta, &delta_pos, &delta_neg);
+
+  DenseMatrix numer = xut_su_hu;
+  numer.AddInPlace(xpt_sp_hp);
+  numer.Axpy(alpha, sf_target);
+  numer.AddInPlace(MatMul(*sf, delta_neg));
+
+  DenseMatrix denom = MatMul(*sf, hut_sutsu_hu);
+  denom.AddInPlace(MatMul(*sf, hpt_sptsp_hp));
+  denom.Axpy(alpha, *sf);
+  denom.AddInPlace(MatMul(*sf, delta_pos));
+  if (sparsity > 0.0) {
+    for (size_t i = 0; i < denom.size(); ++i) denom.data()[i] += sparsity;
+  }
+
+  MultiplicativeUpdateInPlace(sf, numer, denom, eps);
+}
+
+void UpdateSp(const SparseMatrix& xp, const SparseMatrix& xr,
+              const DenseMatrix& sf, const DenseMatrix& hp,
+              const DenseMatrix& su, DenseMatrix* sp, double eps,
+              double sparsity, const std::vector<double>* prior_weights,
+              const DenseMatrix* prior_target) {
+  TRICLUST_CHECK(sp != nullptr);
+  const size_t n = sp->rows();
+  TRICLUST_CHECK_EQ(xp.rows(), n);
+  TRICLUST_CHECK_EQ(xr.cols(), n);
+  TRICLUST_CHECK_EQ(prior_weights == nullptr, prior_target == nullptr);
+  if (prior_weights != nullptr) {
+    TRICLUST_CHECK_EQ(prior_weights->size(), n);
+    TRICLUST_CHECK_EQ(prior_target->rows(), n);
+    TRICLUST_CHECK_EQ(prior_target->cols(), sp->cols());
+  }
+
+  const DenseMatrix xp_sf_hpt = MatMulABt(SpMM(xp, sf), hp);  // Xp·Sf·Hpᵀ
+  const DenseMatrix xrt_su = SpTMM(xr, su);                   // Xrᵀ·Su
+
+  const DenseMatrix sftsf = MatMulAtB(sf, sf);
+  const DenseMatrix hp_sftsf_hpt = MatMul(hp, MatMulABt(sftsf, hp));
+  const DenseMatrix sutsu = MatMulAtB(su, su);
+
+  // Δ_Sp = SpᵀXpSfHpᵀ − HpSfᵀSfHpᵀ + SpᵀXrᵀSu − SuᵀSu.
+  DenseMatrix delta = MatMulAtB(*sp, xp_sf_hpt);
+  delta.SubInPlace(hp_sftsf_hpt);
+  delta.AddInPlace(MatMulAtB(*sp, xrt_su));
+  delta.SubInPlace(sutsu);
+  if (prior_weights != nullptr) {
+    DenseMatrix weighted_diff = DiagScaleRows(*prior_weights, *sp);
+    weighted_diff.SubInPlace(DiagScaleRows(*prior_weights, *prior_target));
+    delta.SubInPlace(MatMulAtB(*sp, weighted_diff));
+  }
+
+  DenseMatrix delta_pos;
+  DenseMatrix delta_neg;
+  SplitPositiveNegative(delta, &delta_pos, &delta_neg);
+
+  DenseMatrix numer = xp_sf_hpt;
+  numer.AddInPlace(xrt_su);
+  numer.AddInPlace(MatMul(*sp, delta_neg));
+  if (prior_weights != nullptr) {
+    numer.AddInPlace(DiagScaleRows(*prior_weights, *prior_target));
+  }
+
+  DenseMatrix denom = MatMul(*sp, hp_sftsf_hpt);
+  denom.AddInPlace(MatMul(*sp, sutsu));
+  denom.AddInPlace(MatMul(*sp, delta_pos));
+  if (prior_weights != nullptr) {
+    denom.AddInPlace(DiagScaleRows(*prior_weights, *sp));
+  }
+  if (sparsity > 0.0) {
+    for (size_t i = 0; i < denom.size(); ++i) denom.data()[i] += sparsity;
+  }
+
+  MultiplicativeUpdateInPlace(sp, numer, denom, eps);
+}
+
+void UpdateSu(const SparseMatrix& xu, const SparseMatrix& xr,
+              const UserGraph& gu, const DenseMatrix& sf,
+              const DenseMatrix& hu, const DenseMatrix& sp, double beta,
+              const std::vector<double>* temporal_weights,
+              const DenseMatrix* temporal_target, DenseMatrix* su,
+              double eps, double sparsity) {
+  TRICLUST_CHECK(su != nullptr);
+  const size_t m = su->rows();
+  TRICLUST_CHECK_EQ(xu.rows(), m);
+  TRICLUST_CHECK_EQ(xr.rows(), m);
+  TRICLUST_CHECK_EQ(gu.num_nodes(), m);
+  TRICLUST_CHECK_EQ(temporal_weights == nullptr, temporal_target == nullptr);
+  if (temporal_weights != nullptr) {
+    TRICLUST_CHECK_EQ(temporal_weights->size(), m);
+    TRICLUST_CHECK_EQ(temporal_target->rows(), m);
+    TRICLUST_CHECK_EQ(temporal_target->cols(), su->cols());
+  }
+
+  const DenseMatrix xu_sf_hut = MatMulABt(SpMM(xu, sf), hu);  // Xu·Sf·Huᵀ
+  const DenseMatrix xr_sp = SpMM(xr, sp);                     // Xr·Sp
+  const DenseMatrix gu_su = SpMM(gu.adjacency(), *su);        // Gu·Su
+  const DenseMatrix du_su = DiagScaleRows(gu.degrees(), *su);  // Du·Su
+
+  const DenseMatrix sftsf = MatMulAtB(sf, sf);
+  const DenseMatrix hu_sftsf_hut = MatMul(hu, MatMulABt(sftsf, hu));
+  const DenseMatrix sptsp = MatMulAtB(sp, sp);
+
+  // Δ_Su = SuᵀXuSfHuᵀ + SuᵀXrSp − HuSfᵀSfHuᵀ − SpᵀSp − β·SuᵀLuSu
+  //        [− γ·Suᵀ(Su − Suw) over evolving rows online].
+  DenseMatrix delta = MatMulAtB(*su, xu_sf_hut);
+  delta.AddInPlace(MatMulAtB(*su, xr_sp));
+  delta.SubInPlace(hu_sftsf_hut);
+  delta.SubInPlace(sptsp);
+  DenseMatrix sut_lu_su = MatMulAtB(*su, du_su);
+  sut_lu_su.SubInPlace(MatMulAtB(*su, gu_su));
+  delta.Axpy(-beta, sut_lu_su);
+  if (temporal_weights != nullptr) {
+    DenseMatrix weighted_diff = DiagScaleRows(*temporal_weights, *su);
+    weighted_diff.SubInPlace(
+        DiagScaleRows(*temporal_weights, *temporal_target));
+    delta.SubInPlace(MatMulAtB(*su, weighted_diff));
+  }
+
+  DenseMatrix delta_pos;
+  DenseMatrix delta_neg;
+  SplitPositiveNegative(delta, &delta_pos, &delta_neg);
+
+  DenseMatrix numer = xu_sf_hut;
+  numer.AddInPlace(xr_sp);
+  numer.Axpy(beta, gu_su);
+  numer.AddInPlace(MatMul(*su, delta_neg));
+  if (temporal_weights != nullptr) {
+    numer.AddInPlace(DiagScaleRows(*temporal_weights, *temporal_target));
+  }
+
+  DenseMatrix denom = MatMul(*su, hu_sftsf_hut);
+  denom.AddInPlace(MatMul(*su, sptsp));
+  denom.Axpy(beta, du_su);
+  denom.AddInPlace(MatMul(*su, delta_pos));
+  if (temporal_weights != nullptr) {
+    denom.AddInPlace(DiagScaleRows(*temporal_weights, *su));
+  }
+  if (sparsity > 0.0) {
+    for (size_t i = 0; i < denom.size(); ++i) denom.data()[i] += sparsity;
+  }
+
+  MultiplicativeUpdateInPlace(su, numer, denom, eps);
+}
+
+void UpdateHp(const SparseMatrix& xp, const DenseMatrix& sp,
+              const DenseMatrix& sf, DenseMatrix* hp, double eps) {
+  TRICLUST_CHECK(hp != nullptr);
+  const DenseMatrix numer = MatMulAtB(sp, SpMM(xp, sf));  // SpᵀXpSf
+  const DenseMatrix denom = MatMul(
+      MatMulAtB(sp, sp), MatMul(*hp, MatMulAtB(sf, sf)));  // SpᵀSp·Hp·SfᵀSf
+  MultiplicativeUpdateInPlace(hp, numer, denom, eps);
+}
+
+void UpdateHu(const SparseMatrix& xu, const DenseMatrix& su,
+              const DenseMatrix& sf, DenseMatrix* hu, double eps) {
+  TRICLUST_CHECK(hu != nullptr);
+  const DenseMatrix numer = MatMulAtB(su, SpMM(xu, sf));  // SuᵀXuSf
+  const DenseMatrix denom = MatMul(
+      MatMulAtB(su, su), MatMul(*hu, MatMulAtB(sf, sf)));  // SuᵀSu·Hu·SfᵀSf
+  MultiplicativeUpdateInPlace(hu, numer, denom, eps);
+}
+
+}  // namespace update
+}  // namespace triclust

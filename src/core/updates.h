@@ -1,0 +1,71 @@
+#ifndef TRICLUST_SRC_CORE_UPDATES_H_
+#define TRICLUST_SRC_CORE_UPDATES_H_
+
+#include <vector>
+
+#include "src/graph/user_graph.h"
+#include "src/matrix/dense_matrix.h"
+#include "src/matrix/sparse_matrix.h"
+
+namespace triclust {
+namespace update {
+
+/// The multiplicative update rules of the tri-clustering framework
+/// (paper Eq. 7, 9, 11, 12, 13 offline; Eq. 20–24, 26 online). Each rule
+/// performs one in-place step M ← M ∘ sqrt(numerator/denominator) with the
+/// Lagrangian Δ-term split into positive and negative parts, exactly as
+/// derived in the paper; `eps` guards the denominators.
+///
+/// The online variants are the same formulas with time-dependent targets:
+/// Sf's lexicon target becomes the decayed window aggregate Sfw(t) and Su
+/// gains a per-row temporal term γ·(Su − Suw), so one parameterized kernel
+/// serves both frameworks.
+///
+/// All three S-rules accept an optional L1 `sparsity` weight (paper §7's
+/// sparsity regularization): the sub-gradient of λs·||S||₁ over S ≥ 0 is the
+/// constant λs, which lands in the denominator of the multiplicative step
+/// and shrinks small entries toward zero.
+
+/// Eq. (7)/(23): feature-cluster update. `sf_target` is Sf0 offline and
+/// Sfw(t) online; `alpha` weighs the term.
+void UpdateSf(const SparseMatrix& xp, const SparseMatrix& xu,
+              const DenseMatrix& sp, const DenseMatrix& su,
+              const DenseMatrix& hp, const DenseMatrix& hu, double alpha,
+              const DenseMatrix& sf_target, DenseMatrix* sf, double eps,
+              double sparsity = 0.0);
+
+/// Eq. (9)/(22): tweet-cluster update. `prior_weights`/`prior_target`
+/// optionally add a per-row quadratic pull δᵢ·||Spᵢ − targetᵢ||² — the
+/// guided (semi-supervised) regularization of paper §7, used to inject
+/// seed tweet labels; both must be passed together.
+void UpdateSp(const SparseMatrix& xp, const SparseMatrix& xr,
+              const DenseMatrix& sf, const DenseMatrix& hp,
+              const DenseMatrix& su, DenseMatrix* sp, double eps,
+              double sparsity = 0.0,
+              const std::vector<double>* prior_weights = nullptr,
+              const DenseMatrix* prior_target = nullptr);
+
+/// Eq. (11) offline (temporal_weights == nullptr) and Eq. (24)/(26) online:
+/// user-cluster update with graph regularization β and optional per-row
+/// temporal regularization. `temporal_weights` holds the per-row γ (0 for
+/// new users, γ for evolving users) and `temporal_target` the decayed
+/// aggregate Suw(t); both must be passed together.
+void UpdateSu(const SparseMatrix& xu, const SparseMatrix& xr,
+              const UserGraph& gu, const DenseMatrix& sf,
+              const DenseMatrix& hu, const DenseMatrix& sp, double beta,
+              const std::vector<double>* temporal_weights,
+              const DenseMatrix* temporal_target, DenseMatrix* su,
+              double eps, double sparsity = 0.0);
+
+/// Eq. (12)/(21): tweet-association update.
+void UpdateHp(const SparseMatrix& xp, const DenseMatrix& sp,
+              const DenseMatrix& sf, DenseMatrix* hp, double eps);
+
+/// Eq. (13)/(20): user-association update.
+void UpdateHu(const SparseMatrix& xu, const DenseMatrix& su,
+              const DenseMatrix& sf, DenseMatrix* hu, double eps);
+
+}  // namespace update
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_CORE_UPDATES_H_

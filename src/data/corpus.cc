@@ -1,0 +1,190 @@
+#include "src/data/corpus.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace triclust {
+
+size_t Corpus::AddUser(std::string handle, Sentiment label) {
+  const size_t id = users_.size();
+  users_.push_back({id, std::move(handle), label});
+  return id;
+}
+
+size_t Corpus::AddTweet(size_t user, int day, std::string text,
+                        Sentiment label, ptrdiff_t retweet_of) {
+  TRICLUST_CHECK_LT(user, users_.size());
+  TRICLUST_CHECK_GE(day, 0);
+  if (retweet_of >= 0) {
+    TRICLUST_CHECK_LT(static_cast<size_t>(retweet_of), tweets_.size());
+  }
+  const size_t id = tweets_.size();
+  tweets_.push_back({id, user, day, std::move(text), label, retweet_of});
+  return id;
+}
+
+void Corpus::SetUserSentimentAt(size_t user, int day, Sentiment sentiment) {
+  TRICLUST_CHECK_LT(user, users_.size());
+  TRICLUST_CHECK_GE(day, 0);
+  if (user_sentiment_by_day_.size() < users_.size()) {
+    user_sentiment_by_day_.resize(users_.size());
+  }
+  auto& days = user_sentiment_by_day_[user];
+  if (days.size() <= static_cast<size_t>(day)) {
+    days.resize(static_cast<size_t>(day) + 1, Sentiment::kUnlabeled);
+  }
+  days[static_cast<size_t>(day)] = sentiment;
+}
+
+Sentiment Corpus::UserSentimentAt(size_t user, int day) const {
+  TRICLUST_CHECK_LT(user, users_.size());
+  if (user < user_sentiment_by_day_.size()) {
+    const auto& days = user_sentiment_by_day_[user];
+    if (day >= 0 && static_cast<size_t>(day) < days.size() &&
+        days[static_cast<size_t>(day)] != Sentiment::kUnlabeled) {
+      return days[static_cast<size_t>(day)];
+    }
+  }
+  return users_[user].label;
+}
+
+int Corpus::num_days() const {
+  int max_day = -1;
+  for (const Tweet& t : tweets_) max_day = std::max(max_day, t.day);
+  return max_day + 1;
+}
+
+const Tweet& Corpus::tweet(size_t id) const {
+  TRICLUST_CHECK_LT(id, tweets_.size());
+  return tweets_[id];
+}
+
+const UserInfo& Corpus::user(size_t id) const {
+  TRICLUST_CHECK_LT(id, users_.size());
+  return users_[id];
+}
+
+UserInfo& Corpus::mutable_user(size_t id) {
+  TRICLUST_CHECK_LT(id, users_.size());
+  return users_[id];
+}
+
+std::vector<size_t> Corpus::TweetIdsInDayRange(int first_day,
+                                               int last_day) const {
+  std::vector<size_t> ids;
+  for (const Tweet& t : tweets_) {
+    if (t.day >= first_day && t.day <= last_day) ids.push_back(t.id);
+  }
+  return ids;
+}
+
+namespace {
+
+void Tally(Sentiment s, Corpus::LabelCounts* counts) {
+  switch (s) {
+    case Sentiment::kPositive:
+      ++counts->positive;
+      break;
+    case Sentiment::kNegative:
+      ++counts->negative;
+      break;
+    case Sentiment::kNeutral:
+      ++counts->neutral;
+      break;
+    case Sentiment::kUnlabeled:
+      ++counts->unlabeled;
+      break;
+  }
+}
+
+int SentimentToInt(Sentiment s) { return static_cast<int>(s); }
+
+Sentiment SentimentFromInt(int v) { return static_cast<Sentiment>(v); }
+
+}  // namespace
+
+Corpus::LabelCounts Corpus::CountTweetLabels() const {
+  LabelCounts counts;
+  for (const Tweet& t : tweets_) Tally(t.label, &counts);
+  return counts;
+}
+
+Corpus::LabelCounts Corpus::CountUserLabels() const {
+  LabelCounts counts;
+  for (const UserInfo& u : users_) Tally(u.label, &counts);
+  return counts;
+}
+
+Status Corpus::SaveTsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << "#users\t" << users_.size() << "\n";
+  for (const UserInfo& u : users_) {
+    out << "U\t" << u.id << "\t" << u.handle << "\t"
+        << SentimentToInt(u.label) << "\n";
+  }
+  for (const Tweet& t : tweets_) {
+    std::string text = t.text;
+    std::replace(text.begin(), text.end(), '\t', ' ');
+    std::replace(text.begin(), text.end(), '\n', ' ');
+    out << "T\t" << t.id << "\t" << t.user << "\t" << t.day << "\t"
+        << SentimentToInt(t.label) << "\t" << t.retweet_of << "\t" << text
+        << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Corpus> Corpus::LoadTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  Corpus corpus;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> fields = Split(line, '\t');
+    const auto fail = [&](const std::string& why) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) + ": " +
+                                why);
+    };
+    if (fields[0] == "U") {
+      if (fields.size() != 4) return fail("user row needs 4 fields");
+      size_t id = 0;
+      double label = 0;
+      if (!ParseSizeT(fields[1], &id) || !ParseDouble(fields[3], &label)) {
+        return fail("malformed user row");
+      }
+      const size_t got = corpus.AddUser(
+          fields[2], SentimentFromInt(static_cast<int>(label)));
+      if (got != id) return fail("non-contiguous user ids");
+    } else if (fields[0] == "T") {
+      if (fields.size() != 7) return fail("tweet row needs 7 fields");
+      size_t id = 0;
+      size_t user = 0;
+      double day = 0;
+      double label = 0;
+      double retweet_of = 0;
+      if (!ParseSizeT(fields[1], &id) || !ParseSizeT(fields[2], &user) ||
+          !ParseDouble(fields[3], &day) || !ParseDouble(fields[4], &label) ||
+          !ParseDouble(fields[5], &retweet_of)) {
+        return fail("malformed tweet row");
+      }
+      if (user >= corpus.num_users()) return fail("tweet references bad user");
+      const size_t got = corpus.AddTweet(
+          user, static_cast<int>(day), fields[6],
+          SentimentFromInt(static_cast<int>(label)),
+          static_cast<ptrdiff_t>(retweet_of));
+      if (got != id) return fail("non-contiguous tweet ids");
+    } else {
+      return fail("unknown row tag '" + fields[0] + "'");
+    }
+  }
+  return corpus;
+}
+
+}  // namespace triclust

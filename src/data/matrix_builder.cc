@@ -1,0 +1,117 @@
+#include "src/data/matrix_builder.h"
+
+#include <unordered_map>
+
+#include "src/util/logging.h"
+
+namespace triclust {
+
+MatrixBuilder::MatrixBuilder(TokenizerOptions tokenizer_options,
+                             VectorizerOptions vectorizer_options)
+    : tokenizer_(tokenizer_options), vectorizer_(vectorizer_options) {}
+
+void MatrixBuilder::Fit(const Corpus& corpus) {
+  tokens_by_tweet_.clear();
+  tokens_by_tweet_.reserve(corpus.num_tweets());
+  for (const Tweet& t : corpus.tweets()) {
+    tokens_by_tweet_.push_back(tokenizer_.Tokenize(t.text));
+  }
+  vectorizer_.Fit(tokens_by_tweet_);
+  fitted_ = true;
+}
+
+DatasetMatrices MatrixBuilder::Build(const Corpus& corpus,
+                                     const std::vector<size_t>& tweet_ids,
+                                     int user_label_day) const {
+  TRICLUST_CHECK(fitted_);
+  DatasetMatrices out;
+  out.tweet_ids = tweet_ids;
+
+  // Row maps.
+  std::unordered_map<size_t, size_t> tweet_row;
+  tweet_row.reserve(tweet_ids.size());
+  for (size_t i = 0; i < tweet_ids.size(); ++i) {
+    TRICLUST_CHECK_LT(tweet_ids[i], corpus.num_tweets());
+    tweet_row[tweet_ids[i]] = i;
+  }
+
+  std::unordered_map<size_t, size_t> user_row;
+  for (size_t tweet_id : tweet_ids) {
+    const size_t author = corpus.tweet(tweet_id).user;
+    if (user_row.emplace(author, out.user_ids.size()).second) {
+      out.user_ids.push_back(author);
+    }
+  }
+
+  // Xp: tweet–feature.
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(tweet_ids.size());
+  for (size_t tweet_id : tweet_ids) {
+    docs.push_back(tokens_by_tweet_[tweet_id]);
+  }
+  out.xp = vectorizer_.Transform(docs);
+
+  // Xu: user–feature = sum of the user's tweet rows.
+  {
+    SparseMatrix::Builder builder(out.user_ids.size(), out.xp.cols());
+    const auto& row_ptr = out.xp.row_ptr();
+    const auto& col_idx = out.xp.col_idx();
+    const auto& values = out.xp.values();
+    for (size_t i = 0; i < tweet_ids.size(); ++i) {
+      const size_t urow = user_row.at(corpus.tweet(tweet_ids[i]).user);
+      for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+        builder.Add(urow, col_idx[p], values[p]);
+      }
+    }
+    out.xu = builder.Build();
+  }
+
+  // Xr: posting incidence, plus retweet incidence onto in-subset originals.
+  // Gu: one unit of weight per retweet event whose two endpoints are both
+  // active in the subset.
+  {
+    SparseMatrix::Builder builder(out.user_ids.size(), tweet_ids.size());
+    std::vector<UserGraph::Edge> edges;
+    for (size_t i = 0; i < tweet_ids.size(); ++i) {
+      const Tweet& t = corpus.tweet(tweet_ids[i]);
+      const size_t urow = user_row.at(t.user);
+      builder.Add(urow, i, 1.0);
+      if (t.IsRetweet()) {
+        const Tweet& original =
+            corpus.tweet(static_cast<size_t>(t.retweet_of));
+        const auto orig_row = tweet_row.find(original.id);
+        if (orig_row != tweet_row.end()) {
+          builder.Add(urow, orig_row->second, 1.0);
+        }
+        const auto author_row = user_row.find(original.user);
+        if (author_row != user_row.end() && author_row->second != urow) {
+          edges.push_back({urow, author_row->second, 1.0});
+        }
+      }
+    }
+    out.xr = builder.Build();
+    out.gu = UserGraph::FromEdges(out.user_ids.size(), edges);
+  }
+
+  // Ground truth.
+  out.tweet_labels.reserve(tweet_ids.size());
+  for (size_t tweet_id : tweet_ids) {
+    out.tweet_labels.push_back(corpus.tweet(tweet_id).label);
+  }
+  out.user_labels.reserve(out.user_ids.size());
+  for (size_t user_id : out.user_ids) {
+    out.user_labels.push_back(
+        user_label_day >= 0
+            ? corpus.UserSentimentAt(user_id, user_label_day)
+            : corpus.user(user_id).label);
+  }
+  return out;
+}
+
+DatasetMatrices MatrixBuilder::BuildAll(const Corpus& corpus) const {
+  std::vector<size_t> all(corpus.num_tweets());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return Build(corpus, all);
+}
+
+}  // namespace triclust

@@ -1,0 +1,78 @@
+#ifndef TRICLUST_SRC_DATA_MATRIX_BUILDER_H_
+#define TRICLUST_SRC_DATA_MATRIX_BUILDER_H_
+
+#include <vector>
+
+#include "src/data/corpus.h"
+#include "src/graph/user_graph.h"
+#include "src/matrix/sparse_matrix.h"
+#include "src/text/tokenizer.h"
+#include "src/text/vectorizer.h"
+
+namespace triclust {
+
+/// The matrix view of (a subset of) a corpus: the three bipartite graphs of
+/// the tripartite decomposition plus the user–user graph, with row-id maps
+/// back into the corpus and the ground-truth labels used for evaluation.
+struct DatasetMatrices {
+  /// Tweet–feature matrix Xp (n×l).
+  SparseMatrix xp;
+  /// User–feature matrix Xu (m×l): sum of each user's tweet rows.
+  SparseMatrix xu;
+  /// User–tweet matrix Xr (m×n): posting and retweeting incidence.
+  SparseMatrix xr;
+  /// User–user retweet graph Gu (m×m), one unit of weight per retweet event.
+  UserGraph gu;
+
+  /// Row i of Xp is corpus tweet tweet_ids[i].
+  std::vector<size_t> tweet_ids;
+  /// Row j of Xu/Xr is corpus user user_ids[j].
+  std::vector<size_t> user_ids;
+
+  /// Ground-truth labels aligned with the rows above (kUnlabeled allowed).
+  std::vector<Sentiment> tweet_labels;
+  std::vector<Sentiment> user_labels;
+
+  size_t num_tweets() const { return tweet_ids.size(); }
+  size_t num_users() const { return user_ids.size(); }
+  size_t num_features() const { return xp.cols(); }
+};
+
+/// Builds DatasetMatrices from a corpus against a single fixed vocabulary.
+///
+/// Fit() tokenizes the whole corpus once and learns the feature space; every
+/// subsequent Build() (full corpus or one temporal snapshot) maps onto that
+/// shared space, which keeps Sf(t) dimensionally consistent across online
+/// snapshots. Out-of-vocabulary tokens in later snapshots are dropped,
+/// matching how a deployed system would pin its feature hash space.
+class MatrixBuilder {
+ public:
+  explicit MatrixBuilder(TokenizerOptions tokenizer_options = {},
+                         VectorizerOptions vectorizer_options = {});
+
+  /// Tokenizes all tweets and fixes the vocabulary.
+  void Fit(const Corpus& corpus);
+
+  /// Learned feature space (valid after Fit()).
+  const Vocabulary& vocabulary() const { return vectorizer_.vocabulary(); }
+
+  /// Builds matrices over the given tweets (typically one snapshot).
+  /// Users = authors of those tweets. When `user_label_day` ≥ 0, user labels
+  /// are the temporal ground truth at that day; otherwise static labels.
+  DatasetMatrices Build(const Corpus& corpus,
+                        const std::vector<size_t>& tweet_ids,
+                        int user_label_day = -1) const;
+
+  /// Builds matrices over the whole corpus.
+  DatasetMatrices BuildAll(const Corpus& corpus) const;
+
+ private:
+  Tokenizer tokenizer_;
+  DocumentVectorizer vectorizer_;
+  std::vector<std::vector<std::string>> tokens_by_tweet_;
+  bool fitted_ = false;
+};
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_DATA_MATRIX_BUILDER_H_

@@ -1,0 +1,61 @@
+#include "src/data/stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/logging.h"
+
+namespace triclust {
+
+double GiniCoefficient(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double total = 0.0;
+  double weighted = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    TRICLUST_CHECK_GE(values[i], 0.0);
+    total += values[i];
+    weighted += static_cast<double>(i + 1) * values[i];
+  }
+  if (total <= 0.0) return 0.0;
+  const double n = static_cast<double>(values.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+CorpusStats ComputeCorpusStats(const Corpus& corpus) {
+  CorpusStats stats;
+  stats.num_tweets = corpus.num_tweets();
+  stats.num_users = corpus.num_users();
+  stats.num_days = corpus.num_days();
+  stats.daily_volume.assign(
+      static_cast<size_t>(std::max(stats.num_days, 0)), 0);
+  stats.user_activity.assign(corpus.num_users(), 0);
+
+  std::vector<std::unordered_set<int>> active_days(corpus.num_users());
+  for (const Tweet& t : corpus.tweets()) {
+    if (t.IsRetweet()) ++stats.num_retweets;
+    ++stats.daily_volume[static_cast<size_t>(t.day)];
+    ++stats.user_activity[t.user];
+    active_days[t.user].insert(t.day);
+  }
+
+  std::vector<double> activity;
+  activity.reserve(corpus.num_users());
+  size_t active_users = 0;
+  size_t returning = 0;
+  for (size_t u = 0; u < corpus.num_users(); ++u) {
+    activity.push_back(static_cast<double>(stats.user_activity[u]));
+    if (!active_days[u].empty()) {
+      ++active_users;
+      if (active_days[u].size() > 1) ++returning;
+    }
+  }
+  stats.activity_gini = GiniCoefficient(std::move(activity));
+  stats.returning_user_fraction =
+      active_users == 0 ? 0.0
+                        : static_cast<double>(returning) /
+                              static_cast<double>(active_users);
+  return stats;
+}
+
+}  // namespace triclust

@@ -1,0 +1,303 @@
+#include "src/data/synthetic.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <string>
+
+#include "src/text/tokenizer.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace triclust {
+
+namespace {
+
+// Themed names for the most frequent polar words, echoing the paper's
+// Table 2 vocabulary; remaining polar words get generated names.
+constexpr std::array<std::string_view, 10> kThemedPositive = {
+    "#yeson37",      "labelgmo", "monsanto", "stopmonsanto", "carighttoknow",
+    "health",        "safe",     "cancer",   "righttoknow",  "organic"};
+constexpr std::array<std::string_view, 10> kThemedNegative = {
+    "corn",   "farmer", "#noprop37", "crop",  "million",
+    "feed",   "india",  "seed",      "biotech", "yield"};
+constexpr std::array<std::string_view, 12> kThemedTopic = {
+    "gmo",   "prop37", "california", "ballot",  "label", "food",
+    "vote",  "measure", "initiative", "genetic", "crops", "election"};
+
+struct WordPools {
+  std::vector<std::string> positive;
+  std::vector<std::string> negative;
+  std::vector<std::string> topic;
+  std::vector<std::string> function;
+};
+
+WordPools BuildWordPools(const SyntheticConfig& config) {
+  WordPools pools;
+  pools.positive.reserve(config.num_polar_words_per_class);
+  pools.negative.reserve(config.num_polar_words_per_class);
+  for (size_t i = 0; i < config.num_polar_words_per_class; ++i) {
+    pools.positive.push_back(
+        i < kThemedPositive.size()
+            ? std::string(kThemedPositive[i])
+            : StrFormat("proword%zu", i));
+    pools.negative.push_back(
+        i < kThemedNegative.size()
+            ? std::string(kThemedNegative[i])
+            : StrFormat("conword%zu", i));
+  }
+  pools.topic.reserve(config.num_topic_words);
+  for (size_t i = 0; i < config.num_topic_words; ++i) {
+    pools.topic.push_back(i < kThemedTopic.size()
+                              ? std::string(kThemedTopic[i])
+                              : StrFormat("topicword%zu", i));
+  }
+  pools.function.reserve(config.num_function_words);
+  for (size_t i = 0; i < config.num_function_words; ++i) {
+    pools.function.push_back(StrFormat("fillerword%zu", i));
+  }
+  return pools;
+}
+
+Sentiment SampleStance(const SyntheticConfig& config, Rng* rng) {
+  const size_t c = rng->Categorical(
+      {config.stance_pos, config.stance_neg, config.stance_neu});
+  return SentimentFromIndex(static_cast<int>(c));
+}
+
+Sentiment FlipStance(Sentiment current, Rng* rng) {
+  // A flip moves to one of the other two classes uniformly.
+  const int cur = SentimentIndex(current);
+  const int offset = 1 + static_cast<int>(rng->NextUint64Below(2));
+  return SentimentFromIndex((cur + offset) % kNumSentimentClasses);
+}
+
+}  // namespace
+
+SyntheticConfig Prop30LikeConfig(uint64_t seed) {
+  SyntheticConfig config;
+  config.seed = seed;
+  config.num_users = 500;
+  config.stance_pos = 0.45;
+  config.stance_neg = 0.35;
+  config.stance_neu = 0.20;
+  config.num_days = 30;
+  config.base_tweets_per_day = 160.0;
+  config.burst_days = {8, 24};
+  config.burst_multiplier = 5.0;
+  return config;
+}
+
+SyntheticConfig Prop37LikeConfig(uint64_t seed) {
+  SyntheticConfig config;
+  config.seed = seed;
+  config.num_users = 800;
+  config.stance_pos = 0.72;
+  config.stance_neg = 0.16;
+  config.stance_neu = 0.12;
+  config.num_days = 30;
+  config.base_tweets_per_day = 320.0;
+  config.burst_days = {12, 24};
+  config.burst_multiplier = 4.0;
+  return config;
+}
+
+SyntheticDataset GenerateSynthetic(const SyntheticConfig& config) {
+  TRICLUST_CHECK_GT(config.num_users, 0u);
+  TRICLUST_CHECK_GT(config.num_days, 0);
+  TRICLUST_CHECK_GE(config.min_tokens_per_tweet, 1);
+  TRICLUST_CHECK_GE(config.max_tokens_per_tweet,
+                    config.min_tokens_per_tweet);
+  Rng rng(config.seed);
+  const WordPools pools = BuildWordPools(config);
+
+  SyntheticDataset dataset;
+  for (const std::string& w : pools.positive) {
+    dataset.true_lexicon.Add(w, Sentiment::kPositive);
+  }
+  for (const std::string& w : pools.negative) {
+    dataset.true_lexicon.Add(w, Sentiment::kNegative);
+  }
+
+  Corpus& corpus = dataset.corpus;
+
+  // --- users: stance trajectories and long-tail activity -------------------
+  std::vector<Sentiment> stance(config.num_users);
+  std::vector<double> activity(config.num_users);
+  for (size_t u = 0; u < config.num_users; ++u) {
+    corpus.AddUser(StrFormat("user%zu", u));
+    stance[u] = SampleStance(config, &rng);
+    activity[u] =
+        1.0 / std::pow(static_cast<double>(u % 97 + 1),
+                       config.user_activity_zipf);
+  }
+
+  std::vector<std::array<int, 3>> stance_days(
+      config.num_users, std::array<int, 3>{0, 0, 0});
+
+  // Tweets of the recent window, per class, for retweet selection.
+  std::vector<std::vector<size_t>> recent_by_class(kNumSentimentClasses);
+  std::vector<std::vector<size_t>> today_by_class(kNumSentimentClasses);
+  std::vector<int> recent_day_of;  // parallel to corpus tweets
+
+  // Drifting popularity (Observation 1): the Zipf head rotates through the
+  // pool over the campaign, so different words are frequent in different
+  // periods while polarities never change.
+  int current_day = 0;
+  auto sample_word = [&](const std::vector<std::string>& pool, bool drifts,
+                         Rng* r) -> const std::string& {
+    const size_t rank = r->Zipf(pool.size(), config.word_zipf);
+    if (!drifts || config.vocab_drift_per_day <= 0.0) return pool[rank];
+    const size_t offset = static_cast<size_t>(
+        config.vocab_drift_per_day * static_cast<double>(current_day) *
+        static_cast<double>(pool.size()));
+    return pool[(rank + offset) % pool.size()];
+  };
+
+  auto compose_text = [&](Sentiment cls, Rng* r) {
+    const int len = static_cast<int>(r->UniformInt(
+        config.min_tokens_per_tweet, config.max_tokens_per_tweet));
+    std::vector<std::string> tokens;
+    tokens.reserve(static_cast<size_t>(len) + 1);
+    for (int i = 0; i < len; ++i) {
+      const double roll = r->NextDouble();
+      if (cls != Sentiment::kNeutral && roll < config.polar_word_rate) {
+        const bool off_class = r->Bernoulli(config.off_class_noise);
+        const bool positive =
+            (cls == Sentiment::kPositive) != off_class;
+        tokens.push_back(sample_word(
+            positive ? pools.positive : pools.negative, /*drifts=*/true, r));
+      } else if (cls == Sentiment::kNeutral &&
+                 roll < config.neutral_polar_rate) {
+        tokens.push_back(
+            sample_word(r->Bernoulli(0.5) ? pools.positive : pools.negative,
+                        /*drifts=*/true, r));
+      } else if (roll < 0.75) {
+        tokens.push_back(sample_word(pools.topic, /*drifts=*/true, r));
+      } else {
+        tokens.push_back(sample_word(pools.function, /*drifts=*/false, r));
+      }
+    }
+    if (cls == Sentiment::kPositive && r->Bernoulli(config.emoticon_prob)) {
+      tokens.emplace_back(":)");
+    } else if (cls == Sentiment::kNegative &&
+               r->Bernoulli(config.emoticon_prob)) {
+      tokens.emplace_back(":(");
+    }
+    return Join(tokens, " ");
+  };
+
+  for (int day = 0; day < config.num_days; ++day) {
+    current_day = day;
+    // Stance evolution (Observation 2: sticky).
+    for (size_t u = 0; u < config.num_users; ++u) {
+      if (rng.Bernoulli(config.user_flip_prob)) {
+        stance[u] = FlipStance(stance[u], &rng);
+      }
+      corpus.SetUserSentimentAt(u, day, stance[u]);
+      ++stance_days[u][SentimentIndex(stance[u])];
+    }
+
+    double volume = config.base_tweets_per_day;
+    for (int burst : config.burst_days) {
+      if (burst == day) volume *= config.burst_multiplier;
+    }
+    const int tweets_today = rng.Poisson(volume);
+
+    for (auto& v : today_by_class) v.clear();
+
+    for (int i = 0; i < tweets_today; ++i) {
+      const size_t author = rng.Categorical(activity);
+
+      // Retweet path: copy a recent tweet, preferring stance-matching
+      // authors (homophily).
+      if (!recent_day_of.empty() && rng.Bernoulli(config.retweet_fraction)) {
+        const int want_cls =
+            rng.Bernoulli(config.retweet_homophily)
+                ? SentimentIndex(stance[author])
+                : static_cast<int>(
+                      rng.NextUint64Below(kNumSentimentClasses));
+        const auto& pool = !recent_by_class[want_cls].empty()
+                               ? recent_by_class[want_cls]
+                               : recent_by_class[SentimentIndex(
+                                     stance[author])];
+        if (!pool.empty()) {
+          const size_t orig = pool[rng.NextUint64Below(pool.size())];
+          const Tweet& original = corpus.tweet(orig);
+          if (original.user != author) {
+            const size_t id = corpus.AddTweet(
+                author, day, original.text, original.label,
+                static_cast<ptrdiff_t>(orig));
+            recent_day_of.push_back(day);
+            TRICLUST_CHECK_EQ(recent_day_of.size(), id + 1);
+            continue;
+          }
+        }
+      }
+
+      // Original tweet path.
+      Sentiment cls = stance[author];
+      if (cls != Sentiment::kNeutral &&
+          rng.Bernoulli(config.off_stance_tweet_prob)) {
+        cls = Sentiment::kNeutral;
+      }
+      const size_t id =
+          corpus.AddTweet(author, day, compose_text(cls, &rng), cls);
+      recent_day_of.push_back(day);
+      TRICLUST_CHECK_EQ(recent_day_of.size(), id + 1);
+      today_by_class[SentimentIndex(cls)].push_back(id);
+    }
+
+    // Roll the retweet-candidate window forward.
+    for (int c = 0; c < kNumSentimentClasses; ++c) {
+      auto& recent = recent_by_class[c];
+      recent.insert(recent.end(), today_by_class[c].begin(),
+                    today_by_class[c].end());
+      recent.erase(
+          std::remove_if(recent.begin(), recent.end(),
+                         [&](size_t id) {
+                           return recent_day_of[id] <
+                                  day - config.retweet_window_days + 1;
+                         }),
+          recent.end());
+    }
+  }
+
+  // Static user label = majority stance over the window.
+  for (size_t u = 0; u < config.num_users; ++u) {
+    const auto& days = stance_days[u];
+    int best = 0;
+    for (int c = 1; c < kNumSentimentClasses; ++c) {
+      if (days[c] > days[best]) best = c;
+    }
+    corpus.mutable_user(u).label = SentimentFromIndex(best);
+  }
+  return dataset;
+}
+
+SentimentLexicon CorruptLexicon(const SentimentLexicon& truth,
+                                double coverage, double error_rate,
+                                uint64_t seed) {
+  TRICLUST_CHECK_GE(coverage, 0.0);
+  TRICLUST_CHECK_LE(coverage, 1.0);
+  TRICLUST_CHECK_GE(error_rate, 0.0);
+  TRICLUST_CHECK_LE(error_rate, 1.0);
+  Rng rng(seed);
+  SentimentLexicon out;
+  // Entries() order is hash-map dependent; sort for determinism.
+  auto entries = truth.Entries();
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [word, polarity] : entries) {
+    if (!rng.Bernoulli(coverage)) continue;
+    Sentiment p = polarity;
+    if (rng.Bernoulli(error_rate)) {
+      p = (p == Sentiment::kPositive) ? Sentiment::kNegative
+                                      : Sentiment::kPositive;
+    }
+    out.Add(word, p);
+  }
+  return out;
+}
+
+}  // namespace triclust

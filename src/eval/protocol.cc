@@ -1,0 +1,33 @@
+#include "src/eval/protocol.h"
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace triclust {
+
+std::vector<int> KFoldAssignment(size_t n, int folds, uint64_t seed) {
+  TRICLUST_CHECK_GE(folds, 2);
+  Rng rng(seed);
+  const std::vector<size_t> perm = rng.Permutation(n);
+  std::vector<int> fold_of(n);
+  for (size_t i = 0; i < n; ++i) {
+    fold_of[perm[i]] = static_cast<int>(i % static_cast<size_t>(folds));
+  }
+  return fold_of;
+}
+
+std::vector<Sentiment> SampleSeedLabels(const std::vector<Sentiment>& truth,
+                                        double fraction, uint64_t seed) {
+  TRICLUST_CHECK_GE(fraction, 0.0);
+  TRICLUST_CHECK_LE(fraction, 1.0);
+  Rng rng(seed);
+  std::vector<Sentiment> seeds(truth.size(), Sentiment::kUnlabeled);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] != Sentiment::kUnlabeled && rng.Bernoulli(fraction)) {
+      seeds[i] = truth[i];
+    }
+  }
+  return seeds;
+}
+
+}  // namespace triclust

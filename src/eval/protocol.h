@@ -1,0 +1,57 @@
+#ifndef TRICLUST_SRC_EVAL_PROTOCOL_H_
+#define TRICLUST_SRC_EVAL_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/text/sentiment.h"
+
+namespace triclust {
+
+/// Experiment protocol helpers shared by the method-comparison benches
+/// (Tables 4/5): supervised methods are scored by k-fold cross-validation
+/// over the labeled subset; semi-supervised methods receive a random
+/// labeled fraction (LP-5 → 5%, LP-10/UserReg-10 → 10%) and are scored on
+/// the rest; unsupervised methods see no labels.
+
+/// Assigns each of `n` items a fold id in [0, folds), uniformly shuffled.
+std::vector<int> KFoldAssignment(size_t n, int folds, uint64_t seed);
+
+/// Keeps each *labeled* item's label with probability `fraction`; all other
+/// items become kUnlabeled. Returns the seed-label vector handed to
+/// semi-supervised methods.
+std::vector<Sentiment> SampleSeedLabels(const std::vector<Sentiment>& truth,
+                                        double fraction, uint64_t seed);
+
+/// Scores a train/predict closure with k-fold cross-validation: for each
+/// fold, labels of that fold are hidden at training time and the fold's
+/// predictions are scored. Returns overall accuracy in [0, 1].
+///
+/// The closure receives the masked labels and must return predictions for
+/// every item.
+template <typename TrainPredictFn>
+double CrossValidatedAccuracy(const std::vector<Sentiment>& truth, int folds,
+                              uint64_t seed, const TrainPredictFn& fn) {
+  const std::vector<int> fold_of = KFoldAssignment(truth.size(), folds, seed);
+  size_t correct = 0;
+  size_t total = 0;
+  for (int fold = 0; fold < folds; ++fold) {
+    std::vector<Sentiment> masked = truth;
+    for (size_t i = 0; i < truth.size(); ++i) {
+      if (fold_of[i] == fold) masked[i] = Sentiment::kUnlabeled;
+    }
+    const std::vector<Sentiment> predicted = fn(masked);
+    for (size_t i = 0; i < truth.size(); ++i) {
+      if (fold_of[i] != fold || truth[i] == Sentiment::kUnlabeled) continue;
+      ++total;
+      if (predicted[i] == truth[i]) ++correct;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(total);
+}
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_EVAL_PROTOCOL_H_

@@ -1,0 +1,100 @@
+#include "src/graph/user_graph.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "src/util/logging.h"
+
+namespace triclust {
+
+UserGraph::UserGraph(size_t num_nodes) {
+  SparseMatrix::Builder builder(num_nodes, num_nodes);
+  adjacency_ = builder.Build();
+  degrees_.assign(num_nodes, 0.0);
+}
+
+UserGraph::UserGraph(SparseMatrix adjacency)
+    : adjacency_(std::move(adjacency)) {
+  degrees_.resize(adjacency_.rows());
+  for (size_t i = 0; i < adjacency_.rows(); ++i) {
+    degrees_[i] = adjacency_.RowSum(i);
+  }
+}
+
+UserGraph UserGraph::FromEdges(size_t num_nodes,
+                               const std::vector<Edge>& edges) {
+  SparseMatrix::Builder builder(num_nodes, num_nodes);
+  for (const Edge& e : edges) {
+    TRICLUST_CHECK_LT(e.u, num_nodes);
+    TRICLUST_CHECK_LT(e.v, num_nodes);
+    TRICLUST_CHECK_GE(e.weight, 0.0);
+    if (e.u == e.v) continue;
+    builder.Add(e.u, e.v, e.weight);
+    builder.Add(e.v, e.u, e.weight);
+  }
+  return UserGraph(builder.Build());
+}
+
+double UserGraph::Degree(size_t u) const {
+  TRICLUST_CHECK_LT(u, degrees_.size());
+  return degrees_[u];
+}
+
+std::vector<UserGraph::Neighbor> UserGraph::Neighbors(size_t u) const {
+  TRICLUST_CHECK_LT(u, num_nodes());
+  std::vector<Neighbor> out;
+  const auto& row_ptr = adjacency_.row_ptr();
+  const auto& col_idx = adjacency_.col_idx();
+  const auto& values = adjacency_.values();
+  out.reserve(row_ptr[u + 1] - row_ptr[u]);
+  for (size_t p = row_ptr[u]; p < row_ptr[u + 1]; ++p) {
+    out.push_back({col_idx[p], values[p]});
+  }
+  return out;
+}
+
+std::vector<int> UserGraph::ConnectedComponents() const {
+  const size_t n = num_nodes();
+  std::vector<int> component(n, -1);
+  int next_id = 0;
+  std::deque<size_t> queue;
+  for (size_t start = 0; start < n; ++start) {
+    if (component[start] != -1) continue;
+    component[start] = next_id;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      const size_t u = queue.front();
+      queue.pop_front();
+      for (const Neighbor& nb : Neighbors(u)) {
+        if (component[nb.node] == -1) {
+          component[nb.node] = next_id;
+          queue.push_back(nb.node);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return component;
+}
+
+UserGraph UserGraph::InducedSubgraph(
+    const std::vector<size_t>& node_ids) const {
+  std::unordered_map<size_t, size_t> remap;
+  remap.reserve(node_ids.size());
+  for (size_t i = 0; i < node_ids.size(); ++i) {
+    TRICLUST_CHECK_LT(node_ids[i], num_nodes());
+    remap[node_ids[i]] = i;
+  }
+  SparseMatrix::Builder builder(node_ids.size(), node_ids.size());
+  for (size_t i = 0; i < node_ids.size(); ++i) {
+    for (const Neighbor& nb : Neighbors(node_ids[i])) {
+      const auto it = remap.find(nb.node);
+      if (it != remap.end()) {
+        builder.Add(i, it->second, nb.weight);
+      }
+    }
+  }
+  return UserGraph(builder.Build());
+}
+
+}  // namespace triclust

@@ -1,0 +1,261 @@
+#include "src/matrix/ops.h"
+
+#include <cmath>
+
+namespace triclust {
+
+DenseMatrix MatMul(const DenseMatrix& a, const DenseMatrix& b) {
+  TRICLUST_CHECK_EQ(a.cols(), b.rows());
+  DenseMatrix c(a.rows(), b.cols(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.Row(i);
+    double* crow = c.Row(i);
+    for (size_t p = 0; p < a.cols(); ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      const double* brow = b.Row(p);
+      for (size_t j = 0; j < b.cols(); ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+DenseMatrix MatMulAtB(const DenseMatrix& a, const DenseMatrix& b) {
+  TRICLUST_CHECK_EQ(a.rows(), b.rows());
+  DenseMatrix c(a.cols(), b.cols(), 0.0);
+  for (size_t p = 0; p < a.rows(); ++p) {
+    const double* arow = a.Row(p);
+    const double* brow = b.Row(p);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* crow = c.Row(i);
+      for (size_t j = 0; j < b.cols(); ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+DenseMatrix MatMulABt(const DenseMatrix& a, const DenseMatrix& b) {
+  TRICLUST_CHECK_EQ(a.cols(), b.cols());
+  DenseMatrix c(a.rows(), b.rows(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.Row(i);
+    double* crow = c.Row(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.Row(j);
+      double dot = 0.0;
+      for (size_t p = 0; p < a.cols(); ++p) dot += arow[p] * brow[p];
+      crow[j] = dot;
+    }
+  }
+  return c;
+}
+
+DenseMatrix SpMM(const SparseMatrix& x, const DenseMatrix& d) {
+  TRICLUST_CHECK_EQ(x.cols(), d.rows());
+  DenseMatrix c(x.rows(), d.cols(), 0.0);
+  const auto& row_ptr = x.row_ptr();
+  const auto& col_idx = x.col_idx();
+  const auto& values = x.values();
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double* crow = c.Row(i);
+    for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const double v = values[p];
+      const double* drow = d.Row(col_idx[p]);
+      for (size_t j = 0; j < d.cols(); ++j) {
+        crow[j] += v * drow[j];
+      }
+    }
+  }
+  return c;
+}
+
+DenseMatrix SpTMM(const SparseMatrix& x, const DenseMatrix& d) {
+  TRICLUST_CHECK_EQ(x.rows(), d.rows());
+  DenseMatrix c(x.cols(), d.cols(), 0.0);
+  const auto& row_ptr = x.row_ptr();
+  const auto& col_idx = x.col_idx();
+  const auto& values = x.values();
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* drow = d.Row(i);
+    for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const double v = values[p];
+      double* crow = c.Row(col_idx[p]);
+      for (size_t j = 0; j < d.cols(); ++j) {
+        crow[j] += v * drow[j];
+      }
+    }
+  }
+  return c;
+}
+
+double FrobeniusNormSquared(const DenseMatrix& d) {
+  double total = 0.0;
+  const double* p = d.data();
+  for (size_t i = 0; i < d.size(); ++i) total += p[i] * p[i];
+  return total;
+}
+
+double FrobeniusDistanceSquared(const DenseMatrix& a, const DenseMatrix& b) {
+  TRICLUST_CHECK_EQ(a.rows(), b.rows());
+  TRICLUST_CHECK_EQ(a.cols(), b.cols());
+  double total = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = pa[i] - pb[i];
+    total += diff * diff;
+  }
+  return total;
+}
+
+double TraceAtB(const DenseMatrix& a, const DenseMatrix& b) {
+  TRICLUST_CHECK_EQ(a.rows(), b.rows());
+  TRICLUST_CHECK_EQ(a.cols(), b.cols());
+  double total = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  for (size_t i = 0; i < a.size(); ++i) total += pa[i] * pb[i];
+  return total;
+}
+
+double FactorizationLossSquared(const SparseMatrix& x, const DenseMatrix& u,
+                                const DenseMatrix& v) {
+  TRICLUST_CHECK_EQ(x.rows(), u.rows());
+  TRICLUST_CHECK_EQ(x.cols(), v.rows());
+  TRICLUST_CHECK_EQ(u.cols(), v.cols());
+  const size_t k = u.cols();
+
+  double cross = 0.0;  // Σ Xᵢⱼ (Uᵢ·Vⱼ)
+  const auto& row_ptr = x.row_ptr();
+  const auto& col_idx = x.col_idx();
+  const auto& values = x.values();
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* urow = u.Row(i);
+    for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const double* vrow = v.Row(col_idx[p]);
+      double dot = 0.0;
+      for (size_t c = 0; c < k; ++c) dot += urow[c] * vrow[c];
+      cross += values[p] * dot;
+    }
+  }
+
+  const DenseMatrix utu = MatMulAtB(u, u);
+  const DenseMatrix vtv = MatMulAtB(v, v);
+  // tr((UᵀU)(VᵀV)) — both are k×k and symmetric.
+  double quad = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      quad += utu(i, j) * vtv(j, i);
+    }
+  }
+  return x.FrobeniusNormSquared() - 2.0 * cross + quad;
+}
+
+double TriFactorizationLossSquared(const SparseMatrix& x,
+                                   const DenseMatrix& s, const DenseMatrix& h,
+                                   const DenseMatrix& f) {
+  return FactorizationLossSquared(x, MatMul(s, h), f);
+}
+
+double GraphLaplacianQuadraticForm(const SparseMatrix& g,
+                                   const std::vector<double>& degrees,
+                                   const DenseMatrix& s) {
+  TRICLUST_CHECK_EQ(g.rows(), g.cols());
+  TRICLUST_CHECK_EQ(g.rows(), s.rows());
+  TRICLUST_CHECK_EQ(degrees.size(), s.rows());
+  const size_t k = s.cols();
+
+  double diag = 0.0;
+  for (size_t i = 0; i < s.rows(); ++i) {
+    const double* row = s.Row(i);
+    double norm_sq = 0.0;
+    for (size_t c = 0; c < k; ++c) norm_sq += row[c] * row[c];
+    diag += degrees[i] * norm_sq;
+  }
+
+  double cross = 0.0;
+  const auto& row_ptr = g.row_ptr();
+  const auto& col_idx = g.col_idx();
+  const auto& values = g.values();
+  for (size_t i = 0; i < g.rows(); ++i) {
+    const double* si = s.Row(i);
+    for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const double* sj = s.Row(col_idx[p]);
+      double dot = 0.0;
+      for (size_t c = 0; c < k; ++c) dot += si[c] * sj[c];
+      cross += values[p] * dot;
+    }
+  }
+  return diag - cross;
+}
+
+void MultiplicativeUpdateInPlace(DenseMatrix* m, const DenseMatrix& numer,
+                                 const DenseMatrix& denom, double eps) {
+  TRICLUST_CHECK(m != nullptr);
+  TRICLUST_CHECK_EQ(m->rows(), numer.rows());
+  TRICLUST_CHECK_EQ(m->cols(), numer.cols());
+  TRICLUST_CHECK_EQ(m->rows(), denom.rows());
+  TRICLUST_CHECK_EQ(m->cols(), denom.cols());
+  double* pm = m->data();
+  const double* pn = numer.data();
+  const double* pd = denom.data();
+  for (size_t i = 0; i < m->size(); ++i) {
+    // Negative intermediate values can only arise from floating-point noise
+    // (all rule terms are constructed non-negative); clamp before the ratio.
+    const double n = std::max(pn[i], 0.0) + eps;
+    const double d = std::max(pd[i], 0.0) + eps;
+    pm[i] *= std::sqrt(n / d);
+  }
+}
+
+void SplitPositiveNegative(const DenseMatrix& m, DenseMatrix* positive,
+                           DenseMatrix* negative) {
+  TRICLUST_CHECK(positive != nullptr);
+  TRICLUST_CHECK(negative != nullptr);
+  *positive = DenseMatrix(m.rows(), m.cols());
+  *negative = DenseMatrix(m.rows(), m.cols());
+  const double* pm = m.data();
+  double* pp = positive->data();
+  double* pn = negative->data();
+  for (size_t i = 0; i < m.size(); ++i) {
+    const double abs = std::fabs(pm[i]);
+    pp[i] = 0.5 * (abs + pm[i]);
+    pn[i] = 0.5 * (abs - pm[i]);
+  }
+}
+
+DenseMatrix DiagScaleRows(const std::vector<double>& diag,
+                          const DenseMatrix& d) {
+  TRICLUST_CHECK_EQ(diag.size(), d.rows());
+  DenseMatrix out(d.rows(), d.cols());
+  for (size_t i = 0; i < d.rows(); ++i) {
+    const double* src = d.Row(i);
+    double* dst = out.Row(i);
+    for (size_t j = 0; j < d.cols(); ++j) dst[j] = diag[i] * src[j];
+  }
+  return out;
+}
+
+bool IsNonNegative(const DenseMatrix& d) {
+  const double* p = d.data();
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (p[i] < 0.0) return false;
+  }
+  return true;
+}
+
+bool AllFinite(const DenseMatrix& d) {
+  const double* p = d.data();
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace triclust

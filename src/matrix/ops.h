@@ -1,0 +1,86 @@
+#ifndef TRICLUST_SRC_MATRIX_OPS_H_
+#define TRICLUST_SRC_MATRIX_OPS_H_
+
+#include <vector>
+
+#include "src/matrix/dense_matrix.h"
+#include "src/matrix/sparse_matrix.h"
+
+namespace triclust {
+
+/// Dense kernels ------------------------------------------------------------
+
+/// C = A·B. A is m×p, B is p×n.
+DenseMatrix MatMul(const DenseMatrix& a, const DenseMatrix& b);
+
+/// C = Aᵀ·B. A is p×m, B is p×n (shared leading dimension p). This is the
+/// k×k workhorse (SᵀS, SᵀX·, ...) so it streams both operands row-wise.
+DenseMatrix MatMulAtB(const DenseMatrix& a, const DenseMatrix& b);
+
+/// C = A·Bᵀ. A is m×p, B is n×p.
+DenseMatrix MatMulABt(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Sparse–dense kernels ------------------------------------------------------
+
+/// C = X·D. X is CSR m×n, D is n×k. O(nnz·k).
+DenseMatrix SpMM(const SparseMatrix& x, const DenseMatrix& d);
+
+/// C = Xᵀ·D. X is CSR m×n, D is m×k; computed by scattering rows of X so no
+/// explicit transpose is materialized. O(nnz·k).
+DenseMatrix SpTMM(const SparseMatrix& x, const DenseMatrix& d);
+
+/// Norms and traces -----------------------------------------------------------
+
+/// ||D||²F.
+double FrobeniusNormSquared(const DenseMatrix& d);
+
+/// ||A − B||²F; shapes must match.
+double FrobeniusDistanceSquared(const DenseMatrix& a, const DenseMatrix& b);
+
+/// tr(AᵀB) = Σᵢⱼ AᵢⱼBᵢⱼ; shapes must match.
+double TraceAtB(const DenseMatrix& a, const DenseMatrix& b);
+
+/// ||X − U·Vᵀ||²F for sparse X (m×n), dense U (m×k), V (n×k), evaluated in
+/// O(nnz·k + (m+n)·k²) without forming U·Vᵀ:
+///   ||X||² − 2·Σ_{(i,j)∈nnz} Xᵢⱼ·(Uᵢ·Vⱼ) + tr((UᵀU)(VᵀV)).
+double FactorizationLossSquared(const SparseMatrix& x, const DenseMatrix& u,
+                                const DenseMatrix& v);
+
+/// ||X − S·H·Fᵀ||²F, i.e. FactorizationLossSquared with U = S·H.
+double TriFactorizationLossSquared(const SparseMatrix& x,
+                                   const DenseMatrix& s, const DenseMatrix& h,
+                                   const DenseMatrix& f);
+
+/// Graph regularization tr(Sᵀ·L·S) for L = D − G where G is a symmetric
+/// non-negative CSR adjacency and D its degree diagonal:
+///   Σᵢ dᵢ·||Sᵢ||² − Σ_{(i,j)∈G} Gᵢⱼ·(Sᵢ·Sⱼ).
+double GraphLaplacianQuadraticForm(const SparseMatrix& g,
+                                   const std::vector<double>& degrees,
+                                   const DenseMatrix& s);
+
+/// Element-wise helpers used by the multiplicative update rules ---------------
+
+/// out = M ∘ sqrt((numer + eps)/(denom + eps)), the guarded multiplicative
+/// step shared by every update rule (paper Eq. 7/9/11/12/13/20–26). `eps`
+/// keeps 0/0 stationary and denominators positive.
+void MultiplicativeUpdateInPlace(DenseMatrix* m, const DenseMatrix& numer,
+                                 const DenseMatrix& denom, double eps);
+
+/// Splits M into its positive part (|M|+M)/2 and negative part (|M|−M)/2
+/// (both entry-wise non-negative), the Δ⁺/Δ⁻ decomposition of the paper.
+void SplitPositiveNegative(const DenseMatrix& m, DenseMatrix* positive,
+                           DenseMatrix* negative);
+
+/// out(i, :) = diag[i] * d(i, :). Used for the β·Du·Su Laplacian terms.
+DenseMatrix DiagScaleRows(const std::vector<double>& diag,
+                          const DenseMatrix& d);
+
+/// True when every entry is ≥ 0 (invariant of all factor matrices).
+bool IsNonNegative(const DenseMatrix& d);
+
+/// True when every entry is finite.
+bool AllFinite(const DenseMatrix& d);
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_MATRIX_OPS_H_

@@ -1,0 +1,91 @@
+#include "src/text/hashing_vectorizer.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "src/matrix/dense_matrix.h"
+#include "src/text/stopwords.h"
+#include "src/util/logging.h"
+
+namespace triclust {
+
+namespace {
+
+/// FNV-1a with a seed mix: fast, stable across platforms.
+uint64_t HashToken(std::string_view token, uint64_t seed) {
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (char c : token) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+HashingVectorizer::HashingVectorizer(HashingVectorizerOptions options)
+    : options_(options) {
+  TRICLUST_CHECK_GT(options_.num_buckets, 0u);
+}
+
+size_t HashingVectorizer::BucketOf(std::string_view token) const {
+  return HashToken(token, options_.seed) % options_.num_buckets;
+}
+
+SparseMatrix HashingVectorizer::Transform(
+    const std::vector<std::vector<std::string>>& documents) const {
+  SparseMatrix::Builder builder(documents.size(), options_.num_buckets);
+  for (size_t d = 0; d < documents.size(); ++d) {
+    std::unordered_map<size_t, double> counts;
+    for (const std::string& token : documents[d]) {
+      if (options_.remove_stopwords && IsStopWord(token)) continue;
+      counts[BucketOf(token)] += 1.0;
+    }
+    double norm_sq = 0.0;
+    for (const auto& [bucket, count] : counts) norm_sq += count * count;
+    const double inv_norm =
+        (options_.l2_normalize && norm_sq > 0.0) ? 1.0 / std::sqrt(norm_sq)
+                                                 : 1.0;
+    for (const auto& [bucket, count] : counts) {
+      builder.Add(d, bucket, count * inv_norm);
+    }
+  }
+  return builder.Build();
+}
+
+DenseMatrix HashingVectorizer::BuildHashedSf0(const SentimentLexicon& lexicon,
+                                              int num_classes,
+                                              double confidence) const {
+  TRICLUST_CHECK_GE(num_classes, 2);
+  TRICLUST_CHECK_GT(confidence, 0.0);
+  TRICLUST_CHECK_LE(confidence, 1.0);
+  const size_t k = static_cast<size_t>(num_classes);
+
+  // Vote per bucket; conflicting votes cancel to "unknown".
+  std::vector<int> bucket_class(options_.num_buckets, -1);
+  std::vector<bool> conflicted(options_.num_buckets, false);
+  for (const auto& [word, polarity] : lexicon.Entries()) {
+    const int cls = SentimentIndex(polarity);
+    if (cls >= num_classes) continue;
+    const size_t bucket = BucketOf(word);
+    if (bucket_class[bucket] == -1) {
+      bucket_class[bucket] = cls;
+    } else if (bucket_class[bucket] != cls) {
+      conflicted[bucket] = true;
+    }
+  }
+
+  const double uniform = 1.0 / static_cast<double>(k);
+  const double off_mass = (1.0 - confidence) / static_cast<double>(k - 1);
+  DenseMatrix sf0(options_.num_buckets, k, uniform);
+  for (size_t b = 0; b < options_.num_buckets; ++b) {
+    if (bucket_class[b] < 0 || conflicted[b]) continue;
+    for (size_t c = 0; c < k; ++c) {
+      sf0(b, c) = (static_cast<int>(c) == bucket_class[b]) ? confidence
+                                                           : off_mass;
+    }
+  }
+  return sf0;
+}
+
+}  // namespace triclust

@@ -1,0 +1,60 @@
+#ifndef TRICLUST_SRC_TEXT_HASHING_VECTORIZER_H_
+#define TRICLUST_SRC_TEXT_HASHING_VECTORIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/matrix/sparse_matrix.h"
+#include "src/text/lexicon.h"
+
+namespace triclust {
+
+/// Options for the hashing vectorizer.
+struct HashingVectorizerOptions {
+  /// Fixed dimensionality of the hashed feature space.
+  size_t num_buckets = 1 << 14;
+  /// Drop stop-words.
+  bool remove_stopwords = true;
+  /// L2-normalize rows (same scale rationale as DocumentVectorizer).
+  bool l2_normalize = true;
+  /// Hash seed, so deployments can decorrelate collision patterns.
+  uint64_t seed = 0x5eedf00dULL;
+};
+
+/// Stateless document vectorizer via feature hashing ("the hashing trick").
+///
+/// Unlike DocumentVectorizer, there is no Fit() step and hence no need to
+/// see the whole corpus before the stream starts: tokens map to one of
+/// `num_buckets` columns by hash, so the online framework can consume an
+/// unbounded stream with a fixed Sf dimensionality. Collisions merge
+/// unrelated words into one feature; with buckets ≫ active vocabulary the
+/// effect on clustering quality is marginal (tested), which is how a
+/// deployed version of the paper's system would pin its feature space.
+class HashingVectorizer {
+ public:
+  explicit HashingVectorizer(HashingVectorizerOptions options = {});
+
+  const HashingVectorizerOptions& options() const { return options_; }
+  size_t num_buckets() const { return options_.num_buckets; }
+
+  /// Column of a single token.
+  size_t BucketOf(std::string_view token) const;
+
+  /// Maps tokenized documents to a CSR matrix with num_buckets columns.
+  SparseMatrix Transform(
+      const std::vector<std::vector<std::string>>& documents) const;
+
+  /// Builds the hashed-space equivalent of SentimentLexicon::BuildSf0: each
+  /// lexicon word votes its polarity into its bucket; buckets with
+  /// conflicting or no votes stay uniform.
+  DenseMatrix BuildHashedSf0(const SentimentLexicon& lexicon,
+                             int num_classes, double confidence = 0.9) const;
+
+ private:
+  HashingVectorizerOptions options_;
+};
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_TEXT_HASHING_VECTORIZER_H_

@@ -1,0 +1,90 @@
+#include "src/text/lexicon.h"
+
+#include "src/text/tokenizer.h"
+#include "src/util/logging.h"
+
+namespace triclust {
+
+void SentimentLexicon::Add(std::string_view word, Sentiment polarity) {
+  TRICLUST_CHECK(polarity == Sentiment::kPositive ||
+                 polarity == Sentiment::kNegative ||
+                 polarity == Sentiment::kNeutral);
+  polarity_[std::string(word)] = polarity;
+}
+
+Sentiment SentimentLexicon::PolarityOf(std::string_view word) const {
+  const auto it = polarity_.find(std::string(word));
+  return it == polarity_.end() ? Sentiment::kUnlabeled : it->second;
+}
+
+bool SentimentLexicon::Contains(std::string_view word) const {
+  return polarity_.count(std::string(word)) > 0;
+}
+
+std::vector<std::pair<std::string, Sentiment>> SentimentLexicon::Entries()
+    const {
+  std::vector<std::pair<std::string, Sentiment>> out;
+  out.reserve(polarity_.size());
+  for (const auto& [word, polarity] : polarity_) {
+    out.emplace_back(word, polarity);
+  }
+  return out;
+}
+
+DenseMatrix SentimentLexicon::BuildSf0(const Vocabulary& vocabulary,
+                                       int num_classes,
+                                       double confidence) const {
+  TRICLUST_CHECK_GE(num_classes, 2);
+  TRICLUST_CHECK_LE(num_classes, kNumSentimentClasses);
+  TRICLUST_CHECK_GT(confidence, 0.0);
+  TRICLUST_CHECK_LE(confidence, 1.0);
+  const size_t l = vocabulary.size();
+  const size_t k = static_cast<size_t>(num_classes);
+  const double uniform = 1.0 / static_cast<double>(k);
+  const double off_mass =
+      (1.0 - confidence) / static_cast<double>(k - 1);
+
+  DenseMatrix sf0(l, k, uniform);
+  for (size_t f = 0; f < l; ++f) {
+    const std::string& token = vocabulary.TokenOf(f);
+    Sentiment polarity = PolarityOf(token);
+    if (polarity == Sentiment::kUnlabeled) {
+      if (token == kPositiveEmoticonToken) {
+        polarity = Sentiment::kPositive;
+      } else if (token == kNegativeEmoticonToken) {
+        polarity = Sentiment::kNegative;
+      } else {
+        continue;  // uncovered: keep the uniform row
+      }
+    }
+    const int cls = SentimentIndex(polarity);
+    if (cls >= num_classes) continue;  // e.g. neutral word with k = 2
+    for (size_t c = 0; c < k; ++c) {
+      sf0(f, c) = (static_cast<int>(c) == cls) ? confidence : off_mass;
+    }
+  }
+  return sf0;
+}
+
+SentimentLexicon SentimentLexicon::BuiltinEnglish() {
+  SentimentLexicon lex;
+  static constexpr std::string_view kPositive[] = {
+      "good",     "great",    "love",      "loved",   "loves",  "awesome",
+      "amazing",  "excellent", "happy",    "best",    "support", "win",
+      "wins",     "safe",     "healthy",   "right",   "yes",    "hope",
+      "benefit",  "improve",  "improved",  "success", "positive", "strong",
+      "protect",  "fair",     "honest",    "smart",   "wonderful", "like",
+  };
+  static constexpr std::string_view kNegative[] = {
+      "bad",     "evil",    "hate",     "hated",   "worst",   "terrible",
+      "awful",   "poison",  "toxic",    "danger",  "dangerous", "risk",
+      "risky",   "wrong",   "no",       "fail",    "failed",  "failure",
+      "lie",     "lies",    "corrupt",  "scam",    "fraud",   "negative",
+      "harm",    "harmful", "cancer",   "fear",    "disaster", "stupid",
+  };
+  for (std::string_view w : kPositive) lex.Add(w, Sentiment::kPositive);
+  for (std::string_view w : kNegative) lex.Add(w, Sentiment::kNegative);
+  return lex;
+}
+
+}  // namespace triclust

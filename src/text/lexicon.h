@@ -1,0 +1,57 @@
+#ifndef TRICLUST_SRC_TEXT_LEXICON_H_
+#define TRICLUST_SRC_TEXT_LEXICON_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/matrix/dense_matrix.h"
+#include "src/text/sentiment.h"
+#include "src/text/vocabulary.h"
+
+namespace triclust {
+
+/// Word-polarity lexicon: the prior sentiment of features.
+///
+/// Plays the role of the automatically built "Yes"/"No" word lists of
+/// Smith et al. [28] that the paper uses to initialize the feature sentiment
+/// matrix Sf0 (Eq. 5). A lexicon is just a partial map word → {pos, neg};
+/// BuildSf0 turns it into the l×k prior against a vocabulary.
+class SentimentLexicon {
+ public:
+  SentimentLexicon() = default;
+
+  /// Registers a word with the given polarity (last write wins).
+  void Add(std::string_view word, Sentiment polarity);
+
+  /// Polarity of `word`, or kUnlabeled when unknown.
+  Sentiment PolarityOf(std::string_view word) const;
+
+  bool Contains(std::string_view word) const;
+
+  size_t size() const { return polarity_.size(); }
+
+  /// All entries (unordered).
+  std::vector<std::pair<std::string, Sentiment>> Entries() const;
+
+  /// Builds the feature-sentiment prior Sf0 ∈ R^{l×k}.
+  ///
+  /// Covered features put probability mass `confidence` on their class and
+  /// spread the remainder uniformly; uncovered features get a uniform row
+  /// (no pull toward any class — α·||Sf − Sf0||² then only shapes covered
+  /// words). Emoticon pseudo-tokens are covered automatically.
+  DenseMatrix BuildSf0(const Vocabulary& vocabulary, int num_classes,
+                       double confidence = 0.9) const;
+
+  /// A small built-in general-purpose English polarity lexicon (positive
+  /// and negative seed words), used by examples and as the default prior.
+  static SentimentLexicon BuiltinEnglish();
+
+ private:
+  std::unordered_map<std::string, Sentiment> polarity_;
+};
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_TEXT_LEXICON_H_

@@ -1,0 +1,46 @@
+#ifndef TRICLUST_SRC_TEXT_SENTIMENT_H_
+#define TRICLUST_SRC_TEXT_SENTIMENT_H_
+
+#include <string_view>
+
+namespace triclust {
+
+/// Sentiment class labels c ∈ {pos, neg, neu} (paper §2). The integer values
+/// are the cluster/column indices used throughout the factor matrices, so
+/// k = 2 experiments use {kPositive, kNegative} and k = 3 adds kNeutral.
+enum class Sentiment : int {
+  kPositive = 0,
+  kNegative = 1,
+  kNeutral = 2,
+  kUnlabeled = -1,
+};
+
+/// Number of sentiment classes when neutral is modeled.
+inline constexpr int kNumSentimentClasses = 3;
+
+/// Stable display name ("pos", "neg", "neu", "unlabeled").
+constexpr std::string_view SentimentName(Sentiment s) {
+  switch (s) {
+    case Sentiment::kPositive:
+      return "pos";
+    case Sentiment::kNegative:
+      return "neg";
+    case Sentiment::kNeutral:
+      return "neu";
+    case Sentiment::kUnlabeled:
+      return "unlabeled";
+  }
+  return "?";
+}
+
+/// Class index of a labeled sentiment; callers must not pass kUnlabeled.
+constexpr int SentimentIndex(Sentiment s) { return static_cast<int>(s); }
+
+/// Inverse of SentimentIndex for indices in [0, kNumSentimentClasses).
+constexpr Sentiment SentimentFromIndex(int index) {
+  return static_cast<Sentiment>(index);
+}
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_TEXT_SENTIMENT_H_

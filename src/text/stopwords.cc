@@ -1,0 +1,43 @@
+#include "src/text/stopwords.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace triclust {
+
+namespace {
+
+// Sorted ascending so membership is a binary search (checked by tests).
+constexpr std::string_view kStopWords[] = {
+    "a",       "about",   "after",   "again",   "all",      "also",
+    "am",      "amp",     "an",      "and",     "any",      "are",
+    "as",      "at",      "be",      "because", "been",     "before",
+    "being",   "between", "both",    "but",     "by",       "can",
+    "could",   "did",     "do",      "does",    "doing",    "down",
+    "during",  "each",    "few",     "for",     "from",     "further",
+    "had",     "has",     "have",    "having",  "he",       "her",
+    "here",    "hers",    "him",     "his",     "how",      "i",
+    "if",      "in",      "into",    "is",      "it",       "its",
+    "just",    "me",      "more",    "most",    "my",       "no",
+    "nor",     "not",     "now",     "of",      "off",      "on",
+    "once",    "only",    "or",      "other",   "our",      "ours",
+    "out",     "over",    "own",     "same",    "she",      "should",
+    "so",      "some",    "such",    "than",    "that",     "the",
+    "their",   "theirs",  "them",    "then",    "there",    "these",
+    "they",    "this",    "those",   "through", "to",       "too",
+    "under",   "until",   "up",      "very",    "via",      "was",
+    "we",      "were",    "what",    "when",    "where",    "which",
+    "while",   "who",     "whom",    "why",     "will",     "with",
+    "would",   "you",     "your",    "yours",   "yourself",
+};
+
+}  // namespace
+
+bool IsStopWord(std::string_view word) {
+  return std::binary_search(std::begin(kStopWords), std::end(kStopWords),
+                            word);
+}
+
+size_t StopWordCount() { return std::size(kStopWords); }
+
+}  // namespace triclust

@@ -1,0 +1,19 @@
+#ifndef TRICLUST_SRC_TEXT_STOPWORDS_H_
+#define TRICLUST_SRC_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace triclust {
+
+/// True for common English function words ("the", "and", "of", ...), which
+/// carry no sentiment signal and are dropped before building the
+/// tweet–feature matrix. The list is small and fixed, matching the usual
+/// Twitter-sentiment preprocessing.
+bool IsStopWord(std::string_view word);
+
+/// Number of entries in the built-in stop-word list (for tests).
+size_t StopWordCount();
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_TEXT_STOPWORDS_H_

@@ -1,0 +1,112 @@
+#include "src/text/tokenizer.h"
+
+#include <array>
+#include <cctype>
+
+#include "src/util/string_util.h"
+
+namespace triclust {
+
+namespace {
+
+constexpr std::array<std::string_view, 12> kPositiveEmoticons = {
+    ":)", ":-)", ":d", ":-d", "=)", ";)", ";-)",
+    ":]", "=d", "<3", "(:", "^_^"};
+
+constexpr std::array<std::string_view, 10> kNegativeEmoticons = {
+    ":(", ":-(", ":'(", "=(", ":[", "d:", ":/", ":-/", "):", ">:("};
+
+bool IsUrlToken(std::string_view token) {
+  return StartsWith(token, "http://") || StartsWith(token, "https://") ||
+         StartsWith(token, "www.");
+}
+
+bool IsAllDigits(std::string_view token) {
+  if (token.empty()) return false;
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// Strips leading/trailing punctuation from a plain word, keeping inner
+/// apostrophes/hyphens ("don't", "agri-tech").
+std::string_view StripOuterPunct(std::string_view token) {
+  size_t begin = 0;
+  size_t end = token.size();
+  auto is_word_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  while (begin < end && !is_word_char(token[begin])) ++begin;
+  while (end > begin && !is_word_char(token[end - 1])) --end;
+  return token.substr(begin, end - begin);
+}
+
+}  // namespace
+
+bool IsPositiveEmoticon(std::string_view token) {
+  const std::string lower = ToLowerAscii(token);
+  for (std::string_view e : kPositiveEmoticons) {
+    if (lower == e) return true;
+  }
+  return false;
+}
+
+bool IsNegativeEmoticon(std::string_view token) {
+  const std::string lower = ToLowerAscii(token);
+  for (std::string_view e : kNegativeEmoticons) {
+    if (lower == e) return true;
+  }
+  return false;
+}
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  for (const std::string& raw : SplitWhitespace(text)) {
+    std::string token = options_.lowercase ? ToLowerAscii(raw) : raw;
+
+    if (options_.strip_retweet_marker && (token == "rt" || raw == "RT")) {
+      continue;
+    }
+    if (options_.strip_urls && IsUrlToken(token)) continue;
+
+    if (options_.map_emoticons) {
+      if (IsPositiveEmoticon(token)) {
+        out.emplace_back(kPositiveEmoticonToken);
+        continue;
+      }
+      if (IsNegativeEmoticon(token)) {
+        out.emplace_back(kNegativeEmoticonToken);
+        continue;
+      }
+    }
+
+    if (!token.empty() && token[0] == '#') {
+      if (!options_.keep_hashtags) continue;
+      const std::string_view body = StripOuterPunct(
+          std::string_view(token).substr(1));
+      if (body.empty()) continue;
+      out.push_back("#" + std::string(body));
+      continue;
+    }
+
+    if (!token.empty() && token[0] == '@') {
+      if (!options_.keep_mentions) continue;
+      const std::string_view body = StripOuterPunct(
+          std::string_view(token).substr(1));
+      if (body.empty()) continue;
+      out.push_back("@" + std::string(body));
+      continue;
+    }
+
+    const std::string_view word = StripOuterPunct(token);
+    if (word.size() < options_.min_token_length) continue;
+    if (options_.strip_numbers && IsAllDigits(word)) continue;
+    out.emplace_back(word);
+  }
+  return out;
+}
+
+}  // namespace triclust

@@ -1,0 +1,30 @@
+#include "src/text/vocabulary.h"
+
+#include "src/util/logging.h"
+
+namespace triclust {
+
+size_t Vocabulary::GetOrAdd(std::string_view token) {
+  const auto it = ids_.find(std::string(token));
+  if (it != ids_.end()) return it->second;
+  const size_t id = tokens_.size();
+  tokens_.emplace_back(token);
+  ids_.emplace(tokens_.back(), id);
+  return id;
+}
+
+ptrdiff_t Vocabulary::IdOf(std::string_view token) const {
+  const auto it = ids_.find(std::string(token));
+  return it == ids_.end() ? -1 : static_cast<ptrdiff_t>(it->second);
+}
+
+bool Vocabulary::Contains(std::string_view token) const {
+  return ids_.count(std::string(token)) > 0;
+}
+
+const std::string& Vocabulary::TokenOf(size_t id) const {
+  TRICLUST_CHECK_LT(id, tokens_.size());
+  return tokens_[id];
+}
+
+}  // namespace triclust

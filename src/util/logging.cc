@@ -1,0 +1,59 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+
+namespace triclust {
+namespace internal_logging {
+
+namespace {
+
+std::atomic<int> g_min_log_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetMinLogLevel() {
+  return static_cast<LogLevel>(g_min_log_level.load(std::memory_order_relaxed));
+}
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= GetMinLogLevel()) {
+    std::cerr << stream_.str() << std::endl;
+  }
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line,
+                                 const char* condition) {
+  stream_ << "[FATAL " << file << ":" << line << "] check failed: ("
+          << condition << ") ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  std::cerr << stream_.str() << std::endl;
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace triclust

@@ -1,0 +1,90 @@
+#ifndef TRICLUST_SRC_UTIL_LOGGING_H_
+#define TRICLUST_SRC_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace triclust {
+
+/// Severity for log messages emitted through TRICLUST_LOG.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal_logging {
+
+/// Process-wide minimum severity; messages below it are dropped.
+LogLevel GetMinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+/// Accumulates a single log line and flushes it (with severity prefix) to
+/// stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage variant that aborts the process after flushing. Used by
+/// TRICLUST_CHECK for unrecoverable programming errors.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Sets the process-wide minimum log severity.
+inline void SetLogLevel(LogLevel level) {
+  internal_logging::SetMinLogLevel(level);
+}
+
+/// Streams a log line at the given severity:
+///   TRICLUST_LOG(kInfo) << "converged after " << iters << " iterations";
+#define TRICLUST_LOG(severity)                                      \
+  ::triclust::internal_logging::LogMessage(                         \
+      ::triclust::LogLevel::severity, __FILE__, __LINE__)
+
+/// Aborts with a diagnostic when `condition` is false. For programming
+/// errors only; recoverable failures must return Status instead.
+#define TRICLUST_CHECK(condition)                                   \
+  (condition) ? (void)0                                             \
+              : (void)::triclust::internal_logging::FatalLogMessage( \
+                    __FILE__, __LINE__, #condition)
+
+#define TRICLUST_CHECK_EQ(a, b) TRICLUST_CHECK((a) == (b))
+#define TRICLUST_CHECK_NE(a, b) TRICLUST_CHECK((a) != (b))
+#define TRICLUST_CHECK_LT(a, b) TRICLUST_CHECK((a) < (b))
+#define TRICLUST_CHECK_LE(a, b) TRICLUST_CHECK((a) <= (b))
+#define TRICLUST_CHECK_GT(a, b) TRICLUST_CHECK((a) > (b))
+#define TRICLUST_CHECK_GE(a, b) TRICLUST_CHECK((a) >= (b))
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_UTIL_LOGGING_H_

@@ -1,0 +1,32 @@
+#ifndef TRICLUST_SRC_UTIL_STOPWATCH_H_
+#define TRICLUST_SRC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace triclust {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses and the
+/// online-vs-batch runtime comparisons (paper Fig. 11(a)/12(a)).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_UTIL_STOPWATCH_H_

@@ -1,0 +1,167 @@
+/// Tests of matrix I/O and online-state checkpointing: a restarted
+/// clusterer must continue the stream exactly as the original would.
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/online.h"
+#include "src/data/snapshots.h"
+#include "src/matrix/io.h"
+#include "tests/test_util.h"
+
+namespace triclust {
+namespace {
+
+// --- dense matrix I/O ---------------------------------------------------------
+
+TEST(MatrixIoTest, RoundTripsExactly) {
+  Rng rng(1);
+  const DenseMatrix original = DenseMatrix::Random(7, 3, &rng, -5.0, 5.0);
+  std::stringstream buffer;
+  WriteDenseMatrix(original, &buffer);
+  auto loaded = ReadDenseMatrix(&buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value(), original);  // bitwise via %.17g
+}
+
+TEST(MatrixIoTest, RoundTripsEmptyAndExtremeValues) {
+  {
+    std::stringstream buffer;
+    WriteDenseMatrix(DenseMatrix(0, 0), &buffer);
+    auto loaded = ReadDenseMatrix(&buffer);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().rows(), 0u);
+  }
+  {
+    DenseMatrix m({{1e-300, 1e300}, {0.0, -2.5e-17}});
+    std::stringstream buffer;
+    WriteDenseMatrix(m, &buffer);
+    auto loaded = ReadDenseMatrix(&buffer);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value(), m);
+  }
+}
+
+TEST(MatrixIoTest, RejectsMalformedInput) {
+  {
+    std::stringstream buffer("not a header\n");
+    EXPECT_FALSE(ReadDenseMatrix(&buffer).ok());
+  }
+  {
+    std::stringstream buffer("2 2\n1 2\n");  // truncated
+    EXPECT_FALSE(ReadDenseMatrix(&buffer).ok());
+  }
+  {
+    std::stringstream buffer("1 2\n1 2 3\n");  // wrong arity
+    EXPECT_FALSE(ReadDenseMatrix(&buffer).ok());
+  }
+  {
+    std::stringstream buffer("1 1\nxyz\n");  // bad value
+    EXPECT_FALSE(ReadDenseMatrix(&buffer).ok());
+  }
+  {
+    std::stringstream buffer;
+    EXPECT_FALSE(ReadDenseMatrix(&buffer).ok());  // empty stream
+  }
+}
+
+// --- online checkpointing -------------------------------------------------------
+
+TEST(CheckpointTest, RestartedStreamMatchesUninterruptedStream) {
+  const auto p = testing_util::MakeSmallProblem();
+  const Corpus& corpus = p.dataset.corpus;
+  const auto snapshots = SplitByDay(corpus);
+  OnlineConfig config;
+  config.base.max_iterations = 20;
+  config.base.track_loss = false;
+
+  // Reference: uninterrupted run.
+  OnlineTriClusterer reference(config, p.sf0);
+  std::vector<TriClusterResult> expected;
+  for (const Snapshot& snap : snapshots) {
+    expected.push_back(reference.ProcessSnapshot(
+        p.builder.Build(corpus, snap.tweet_ids, snap.last_day)));
+  }
+
+  // Interrupted run: checkpoint after day 3, restore into a fresh object.
+  OnlineTriClusterer first(config, p.sf0);
+  for (size_t s = 0; s < 4; ++s) {
+    first.ProcessSnapshot(
+        p.builder.Build(corpus, snapshots[s].tweet_ids,
+                        snapshots[s].last_day));
+  }
+  const std::string path = ::testing::TempDir() + "/online_state.ckpt";
+  ASSERT_TRUE(first.SaveState(path).ok());
+
+  OnlineTriClusterer resumed(config, p.sf0);
+  ASSERT_TRUE(resumed.RestoreState(path).ok());
+  std::remove(path.c_str());
+  EXPECT_EQ(resumed.timestep(), 4);
+
+  for (size_t s = 4; s < snapshots.size(); ++s) {
+    const DatasetMatrices data = p.builder.Build(
+        corpus, snapshots[s].tweet_ids, snapshots[s].last_day);
+    const TriClusterResult got = resumed.ProcessSnapshot(data);
+    EXPECT_EQ(got.sp, expected[s].sp) << "snapshot " << s;
+    EXPECT_EQ(got.su, expected[s].su) << "snapshot " << s;
+    EXPECT_EQ(got.sf, expected[s].sf) << "snapshot " << s;
+  }
+}
+
+TEST(CheckpointTest, PreservesUserHistories) {
+  const auto p = testing_util::MakeSmallProblem();
+  const Corpus& corpus = p.dataset.corpus;
+  const auto snapshots = SplitByDay(corpus);
+  OnlineConfig config;
+  config.base.max_iterations = 10;
+  config.base.track_loss = false;
+  OnlineTriClusterer online(config, p.sf0);
+  const DatasetMatrices day0 =
+      p.builder.Build(corpus, snapshots[0].tweet_ids, 0);
+  online.ProcessSnapshot(day0);
+
+  const std::string path = ::testing::TempDir() + "/online_users.ckpt";
+  ASSERT_TRUE(online.SaveState(path).ok());
+  OnlineTriClusterer restored(config, p.sf0);
+  ASSERT_TRUE(restored.RestoreState(path).ok());
+  std::remove(path.c_str());
+
+  for (size_t user_id : day0.user_ids) {
+    EXPECT_EQ(restored.UserSentiment(user_id),
+              online.UserSentiment(user_id));
+  }
+}
+
+TEST(CheckpointTest, RejectsWrongFeatureSpace) {
+  const auto p = testing_util::MakeSmallProblem();
+  OnlineConfig config;
+  config.base.max_iterations = 5;
+  config.base.track_loss = false;
+  OnlineTriClusterer online(config, p.sf0);
+  const auto snapshots = SplitByDay(p.dataset.corpus);
+  online.ProcessSnapshot(
+      p.builder.Build(p.dataset.corpus, snapshots[0].tweet_ids, 0));
+  const std::string path = ::testing::TempDir() + "/online_mismatch.ckpt";
+  ASSERT_TRUE(online.SaveState(path).ok());
+
+  // A clusterer over a different (smaller) feature space must refuse it.
+  const DenseMatrix small_sf0(10, 3, 1.0 / 3.0);
+  OnlineTriClusterer other(config, small_sf0);
+  const Status status = other.RestoreState(path);
+  std::remove(path.c_str());
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, MissingFileFailsCleanly) {
+  const auto p = testing_util::MakeSmallProblem();
+  OnlineConfig config;
+  OnlineTriClusterer online(config, p.sf0);
+  EXPECT_EQ(online.RestoreState("/nonexistent/state.ckpt").code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace triclust

@@ -1,0 +1,142 @@
+#include "src/text/hashing_vectorizer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/offline.h"
+#include "src/eval/metrics.h"
+#include "src/text/tokenizer.h"
+#include "tests/test_util.h"
+
+namespace triclust {
+namespace {
+
+TEST(HashingVectorizerTest, BucketsStableAndInRange) {
+  HashingVectorizer vec;
+  const size_t b1 = vec.BucketOf("monsanto");
+  EXPECT_EQ(b1, vec.BucketOf("monsanto"));
+  EXPECT_LT(b1, vec.num_buckets());
+  // Different seeds shuffle the mapping.
+  HashingVectorizerOptions options;
+  options.seed = 42;
+  HashingVectorizer other(options);
+  size_t moved = 0;
+  for (const char* w : {"alpha", "beta", "gamma", "delta", "epsilon"}) {
+    if (vec.BucketOf(w) != other.BucketOf(w)) ++moved;
+  }
+  EXPECT_GT(moved, 2u);
+}
+
+TEST(HashingVectorizerTest, TransformNeedsNoFit) {
+  HashingVectorizerOptions options;
+  options.num_buckets = 64;
+  options.l2_normalize = false;
+  HashingVectorizer vec(options);
+  const SparseMatrix x = vec.Transform({{"gmo", "gmo", "label"}, {}});
+  EXPECT_EQ(x.rows(), 2u);
+  EXPECT_EQ(x.cols(), 64u);
+  EXPECT_DOUBLE_EQ(x.At(0, vec.BucketOf("gmo")), 2.0);
+  EXPECT_DOUBLE_EQ(x.At(0, vec.BucketOf("label")), 1.0);
+  EXPECT_EQ(x.RowNnz(1), 0u);
+}
+
+TEST(HashingVectorizerTest, StopwordsDropped) {
+  HashingVectorizer vec;
+  const SparseMatrix x = vec.Transform({{"the", "and", "gmo"}});
+  EXPECT_EQ(x.RowNnz(0), 1u);
+}
+
+TEST(HashingVectorizerTest, L2NormalizedRows) {
+  HashingVectorizer vec;
+  const SparseMatrix x = vec.Transform({{"aa", "bb", "cc", "dd"}});
+  double sq = 0.0;
+  for (double v : x.values()) sq += v * v;
+  EXPECT_NEAR(sq, 1.0, 1e-12);
+}
+
+TEST(HashingVectorizerTest, HashedSf0MarksLexiconBuckets) {
+  HashingVectorizerOptions options;
+  options.num_buckets = 128;
+  HashingVectorizer vec(options);
+  SentimentLexicon lexicon;
+  lexicon.Add("good", Sentiment::kPositive);
+  lexicon.Add("bad", Sentiment::kNegative);
+  const DenseMatrix sf0 = vec.BuildHashedSf0(lexicon, 3, 0.9);
+  ASSERT_EQ(sf0.rows(), 128u);
+  EXPECT_DOUBLE_EQ(sf0(vec.BucketOf("good"), 0), 0.9);
+  EXPECT_DOUBLE_EQ(sf0(vec.BucketOf("bad"), 1), 0.9);
+  // Unused bucket stays uniform.
+  size_t unused = 0;
+  while (unused == vec.BucketOf("good") || unused == vec.BucketOf("bad")) {
+    ++unused;
+  }
+  EXPECT_NEAR(sf0(unused, 0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(HashingVectorizerTest, ConflictingBucketStaysUniform) {
+  // Force a collision by using one bucket.
+  HashingVectorizerOptions options;
+  options.num_buckets = 1;
+  HashingVectorizer vec(options);
+  SentimentLexicon lexicon;
+  lexicon.Add("good", Sentiment::kPositive);
+  lexicon.Add("bad", Sentiment::kNegative);
+  const DenseMatrix sf0 = vec.BuildHashedSf0(lexicon, 3, 0.9);
+  EXPECT_NEAR(sf0(0, 0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(HashingVectorizerTest, EndToEndClusteringComparableToExactVocabulary) {
+  // The headline property: hashed features (no global Fit) support the full
+  // tri-clustering pipeline at near-exact-vocabulary quality.
+  const auto p = testing_util::MakeSmallProblem();
+  const Tokenizer tokenizer;
+  std::vector<std::vector<std::string>> docs;
+  for (const Tweet& t : p.dataset.corpus.tweets()) {
+    docs.push_back(tokenizer.Tokenize(t.text));
+  }
+  HashingVectorizerOptions options;
+  options.num_buckets = 4096;
+  HashingVectorizer hasher(options);
+
+  DatasetMatrices hashed = p.data;  // reuse Xr/Gu/labels; replace features
+  hashed.xp = hasher.Transform(docs);
+  {
+    // Rebuild Xu rows by summing the hashed tweet rows per user.
+    SparseMatrix::Builder builder(p.data.num_users(),
+                                  hasher.num_buckets());
+    std::unordered_map<size_t, size_t> user_row;
+    for (size_t j = 0; j < p.data.user_ids.size(); ++j) {
+      user_row[p.data.user_ids[j]] = j;
+    }
+    const auto& row_ptr = hashed.xp.row_ptr();
+    const auto& col_idx = hashed.xp.col_idx();
+    const auto& values = hashed.xp.values();
+    for (size_t i = 0; i < hashed.xp.rows(); ++i) {
+      const size_t author =
+          p.dataset.corpus.tweet(p.data.tweet_ids[i]).user;
+      for (size_t q = row_ptr[i]; q < row_ptr[i + 1]; ++q) {
+        builder.Add(user_row.at(author), col_idx[q], values[q]);
+      }
+    }
+    hashed.xu = builder.Build();
+  }
+  const SentimentLexicon lexicon =
+      CorruptLexicon(p.dataset.true_lexicon, 0.7, 0.02, 5);
+  const DenseMatrix sf0 = hasher.BuildHashedSf0(lexicon, 3);
+
+  TriClusterConfig config;
+  config.max_iterations = 50;
+  const TriClusterResult hashed_result =
+      OfflineTriClusterer(config).Run(hashed, sf0);
+  const TriClusterResult exact_result =
+      OfflineTriClusterer(config).Run(p.data, p.sf0);
+
+  const double hashed_acc = ClusteringAccuracy(
+      hashed_result.TweetClusters(), p.data.tweet_labels);
+  const double exact_acc = ClusteringAccuracy(exact_result.TweetClusters(),
+                                              p.data.tweet_labels);
+  EXPECT_GT(hashed_acc, 0.55);
+  EXPECT_GT(hashed_acc + 0.10, exact_acc);  // within 10 points of exact
+}
+
+}  // namespace
+}  // namespace triclust

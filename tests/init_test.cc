@@ -1,0 +1,104 @@
+#include "src/core/init.h"
+
+#include <gtest/gtest.h>
+
+#include "src/matrix/ops.h"
+#include "tests/test_util.h"
+
+namespace triclust {
+namespace {
+
+TEST(InitTest, ShapesMatchProblem) {
+  const auto p = testing_util::MakeSmallProblem();
+  TriClusterConfig config;
+  const FactorSet f = InitializeFactors(p.data, p.sf0, config);
+  EXPECT_EQ(f.sp.rows(), p.data.num_tweets());
+  EXPECT_EQ(f.su.rows(), p.data.num_users());
+  EXPECT_EQ(f.sf.rows(), p.data.num_features());
+  EXPECT_EQ(f.sp.cols(), 3u);
+  EXPECT_EQ(f.hp.rows(), 3u);
+  EXPECT_EQ(f.hp.cols(), 3u);
+  EXPECT_EQ(f.hu.rows(), 3u);
+}
+
+TEST(InitTest, BothStrategiesStrictlyPositive) {
+  const auto p = testing_util::MakeSmallProblem();
+  for (const InitStrategy init :
+       {InitStrategy::kRandom, InitStrategy::kLexiconSeeded}) {
+    TriClusterConfig config;
+    config.init = init;
+    const FactorSet f = InitializeFactors(p.data, p.sf0, config);
+    auto all_positive = [](const DenseMatrix& m) {
+      for (size_t i = 0; i < m.size(); ++i) {
+        if (m.data()[i] <= 0.0) return false;
+      }
+      return true;
+    };
+    EXPECT_TRUE(all_positive(f.sp));
+    EXPECT_TRUE(all_positive(f.su));
+    EXPECT_TRUE(all_positive(f.sf));
+    EXPECT_TRUE(all_positive(f.hp));
+    EXPECT_TRUE(all_positive(f.hu));
+  }
+}
+
+TEST(InitTest, DeterministicInSeed) {
+  const auto p = testing_util::MakeSmallProblem();
+  TriClusterConfig config;
+  const FactorSet a = InitializeFactors(p.data, p.sf0, config);
+  const FactorSet b = InitializeFactors(p.data, p.sf0, config);
+  EXPECT_EQ(a.sp, b.sp);
+  EXPECT_EQ(a.sf, b.sf);
+  config.seed = 12345;
+  const FactorSet c = InitializeFactors(p.data, p.sf0, config);
+  EXPECT_FALSE(a.sp == c.sp);
+}
+
+TEST(InitTest, LexiconSeedingAlignsTweetsWithPrior) {
+  // A tweet made of confidently-positive prior words must start with its
+  // largest Sp coordinate on the positive cluster.
+  const auto p = testing_util::MakeSmallProblem();
+  TriClusterConfig config;
+  config.init = InitStrategy::kLexiconSeeded;
+  const FactorSet f = InitializeFactors(p.data, p.sf0, config);
+
+  // Find the most positively-scored tweet under the raw prior and check
+  // the init agrees.
+  const DenseMatrix prior_scores = SpMM(p.data.xp, p.sf0);
+  size_t best_tweet = 0;
+  double best_margin = -1.0;
+  for (size_t i = 0; i < prior_scores.rows(); ++i) {
+    const double margin = prior_scores(i, 0) - prior_scores(i, 1);
+    if (margin > best_margin) {
+      best_margin = margin;
+      best_tweet = i;
+    }
+  }
+  EXPECT_EQ(f.sp.ArgMaxRow(best_tweet), 0u);
+}
+
+TEST(InitTest, AssociationsStartNearIdentity) {
+  const auto p = testing_util::MakeSmallProblem();
+  TriClusterConfig config;
+  config.init = InitStrategy::kLexiconSeeded;
+  const FactorSet f = InitializeFactors(p.data, p.sf0, config);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      if (i == j) {
+        EXPECT_GT(f.hp(i, j), 0.9);
+      } else {
+        EXPECT_LT(f.hp(i, j), 0.1);
+      }
+    }
+  }
+}
+
+TEST(InitDeathTest, RejectsMismatchedPrior) {
+  const auto p = testing_util::MakeSmallProblem();
+  TriClusterConfig config;
+  const DenseMatrix bad_sf0(3, 3, 0.5);  // wrong row count
+  EXPECT_DEATH(InitializeFactors(p.data, bad_sf0, config), "check failed");
+}
+
+}  // namespace
+}  // namespace triclust

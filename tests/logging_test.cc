@@ -1,0 +1,53 @@
+#include "src/util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace triclust {
+namespace {
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  TRICLUST_CHECK(1 + 1 == 2);  // must not abort
+  TRICLUST_CHECK_EQ(4, 4);
+  TRICLUST_CHECK_NE(4, 5);
+  TRICLUST_CHECK_LT(1, 2);
+  TRICLUST_CHECK_LE(2, 2);
+  TRICLUST_CHECK_GT(3, 2);
+  TRICLUST_CHECK_GE(3, 3);
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsWithDiagnostics) {
+  EXPECT_DEATH(TRICLUST_CHECK(false), "check failed");
+  EXPECT_DEATH(TRICLUST_CHECK_EQ(1, 2), "check failed");
+  EXPECT_DEATH(TRICLUST_CHECK_GT(1, 2), "1.*>.*2");
+}
+
+TEST(LoggingTest, LogLevelFiltersMessages) {
+  // Capture stderr around a filtered and an unfiltered message.
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  TRICLUST_LOG(kInfo) << "should be filtered";
+  std::string filtered = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(filtered.find("should be filtered"), std::string::npos);
+
+  ::testing::internal::CaptureStderr();
+  TRICLUST_LOG(kError) << "must appear";
+  std::string shown = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(shown.find("must appear"), std::string::npos);
+  EXPECT_NE(shown.find("ERROR"), std::string::npos);
+  SetLogLevel(LogLevel::kInfo);
+}
+
+TEST(LoggingTest, MessageCarriesFileAndSeverity) {
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  TRICLUST_LOG(kWarning) << "watch out";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("WARN"), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(out.find("watch out"), std::string::npos);
+  SetLogLevel(LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace triclust

@@ -1,0 +1,170 @@
+#include "src/data/matrix_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/snapshots.h"
+#include "tests/test_util.h"
+
+namespace triclust {
+namespace {
+
+Corpus MiniCorpus() {
+  Corpus c;
+  const size_t alice = c.AddUser("alice", Sentiment::kPositive);
+  const size_t bob = c.AddUser("bob", Sentiment::kNegative);
+  const size_t carol = c.AddUser("carol", Sentiment::kPositive);
+  c.AddTweet(alice, 0, "love gmo labeling", Sentiment::kPositive);   // 0
+  c.AddTweet(bob, 0, "hate gmo labeling", Sentiment::kNegative);     // 1
+  c.AddTweet(alice, 1, "labeling safe food", Sentiment::kPositive);  // 2
+  // carol retweets alice's tweet 0 on day 1:
+  c.AddTweet(carol, 1, "love gmo labeling", Sentiment::kPositive, 0);  // 3
+  return c;
+}
+
+TEST(MatrixBuilderTest, DimensionsConsistent) {
+  const Corpus c = MiniCorpus();
+  MatrixBuilder builder;
+  builder.Fit(c);
+  const DatasetMatrices d = builder.BuildAll(c);
+  EXPECT_EQ(d.num_tweets(), 4u);
+  EXPECT_EQ(d.num_users(), 3u);
+  EXPECT_EQ(d.xp.rows(), 4u);
+  EXPECT_EQ(d.xu.rows(), 3u);
+  EXPECT_EQ(d.xu.cols(), d.xp.cols());
+  EXPECT_EQ(d.xr.rows(), 3u);
+  EXPECT_EQ(d.xr.cols(), 4u);
+  EXPECT_EQ(d.gu.num_nodes(), 3u);
+  EXPECT_EQ(d.tweet_labels.size(), 4u);
+  EXPECT_EQ(d.user_labels.size(), 3u);
+}
+
+TEST(MatrixBuilderTest, XuIsSumOfUserTweetRows) {
+  const Corpus c = MiniCorpus();
+  MatrixBuilder builder;
+  builder.Fit(c);
+  const DatasetMatrices d = builder.BuildAll(c);
+  // alice (user row 0) authored tweet rows 0 and 2.
+  for (size_t f = 0; f < d.xu.cols(); ++f) {
+    EXPECT_NEAR(d.xu.At(0, f), d.xp.At(0, f) + d.xp.At(2, f), 1e-12);
+  }
+}
+
+TEST(MatrixBuilderTest, XrHasPostingAndRetweetIncidence) {
+  const Corpus c = MiniCorpus();
+  MatrixBuilder builder;
+  builder.Fit(c);
+  const DatasetMatrices d = builder.BuildAll(c);
+  // Row order follows first appearance: alice=0, bob=1, carol=2.
+  EXPECT_DOUBLE_EQ(d.xr.At(0, 0), 1.0);  // alice posts tweet 0
+  EXPECT_DOUBLE_EQ(d.xr.At(1, 1), 1.0);  // bob posts tweet 1
+  EXPECT_DOUBLE_EQ(d.xr.At(2, 3), 1.0);  // carol posts the retweet
+  EXPECT_DOUBLE_EQ(d.xr.At(2, 0), 1.0);  // …and is linked to the original
+  EXPECT_DOUBLE_EQ(d.xr.At(1, 0), 0.0);
+}
+
+TEST(MatrixBuilderTest, GuLinksRetweeterToOriginalAuthor) {
+  const Corpus c = MiniCorpus();
+  MatrixBuilder builder;
+  builder.Fit(c);
+  const DatasetMatrices d = builder.BuildAll(c);
+  EXPECT_EQ(d.gu.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(d.gu.adjacency().At(2, 0), 1.0);  // carol—alice
+  EXPECT_DOUBLE_EQ(d.gu.adjacency().At(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(d.gu.adjacency().At(1, 0), 0.0);
+}
+
+TEST(MatrixBuilderTest, LabelsAlignWithRows) {
+  const Corpus c = MiniCorpus();
+  MatrixBuilder builder;
+  builder.Fit(c);
+  const DatasetMatrices d = builder.BuildAll(c);
+  EXPECT_EQ(d.tweet_labels[1], Sentiment::kNegative);
+  EXPECT_EQ(d.user_labels[0], Sentiment::kPositive);  // alice
+  EXPECT_EQ(d.user_labels[1], Sentiment::kNegative);  // bob
+}
+
+TEST(MatrixBuilderTest, SnapshotSubsetKeepsVocabulary) {
+  const Corpus c = MiniCorpus();
+  MatrixBuilder builder;
+  builder.Fit(c);
+  const DatasetMatrices full = builder.BuildAll(c);
+  const DatasetMatrices day1 = builder.Build(c, c.TweetIdsInDayRange(1, 1));
+  EXPECT_EQ(day1.num_tweets(), 2u);
+  EXPECT_EQ(day1.num_users(), 2u);  // alice and carol
+  EXPECT_EQ(day1.xp.cols(), full.xp.cols());  // shared feature space
+}
+
+TEST(MatrixBuilderTest, SnapshotRetweetOfOutOfWindowOriginal) {
+  const Corpus c = MiniCorpus();
+  MatrixBuilder builder;
+  builder.Fit(c);
+  // Day-1 window contains the retweet (id 3) but not its original (id 0):
+  const DatasetMatrices d = builder.Build(c, c.TweetIdsInDayRange(1, 1));
+  // Posting incidence only; no crash, no edge to a missing tweet row.
+  size_t carol_row = 2;  // appearance order within day 1: alice(2)=0, carol=1
+  carol_row = 1;
+  EXPECT_DOUBLE_EQ(d.xr.At(carol_row, 1), 1.0);
+  // Gu edge still exists because both users are active on day 1.
+  EXPECT_EQ(d.gu.num_edges(), 1u);
+}
+
+TEST(MatrixBuilderTest, TemporalUserLabels) {
+  Corpus c = MiniCorpus();
+  c.SetUserSentimentAt(0, 1, Sentiment::kNegative);  // alice flips on day 1
+  MatrixBuilder builder;
+  builder.Fit(c);
+  const DatasetMatrices d0 =
+      builder.Build(c, c.TweetIdsInDayRange(0, 0), /*user_label_day=*/0);
+  const DatasetMatrices d1 =
+      builder.Build(c, c.TweetIdsInDayRange(1, 1), /*user_label_day=*/1);
+  EXPECT_EQ(d0.user_labels[0], Sentiment::kPositive);
+  EXPECT_EQ(d1.user_labels[0], Sentiment::kNegative);
+}
+
+TEST(MatrixBuilderTest, WorksOnSyntheticCampaign) {
+  const auto p = testing_util::MakeSmallProblem();
+  EXPECT_GT(p.data.xp.nnz(), 1000u);
+  EXPECT_GT(p.data.num_features(), 100u);
+  EXPECT_GT(p.data.gu.num_edges(), 10u);
+  // Every tweet row must connect to exactly its author (+ possibly an
+  // original): column sums of Xr ≥ 1.
+  const std::vector<double> colsum = p.data.xr.ColumnSums();
+  for (double v : colsum) EXPECT_GE(v, 1.0);
+}
+
+// --- snapshots ---------------------------------------------------------------
+
+TEST(SnapshotsTest, SplitByDayCoversEveryTweetOnce) {
+  const Corpus c = MiniCorpus();
+  const std::vector<Snapshot> snaps = SplitByDay(c);
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].tweet_ids, (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(snaps[1].tweet_ids, (std::vector<size_t>{2, 3}));
+  EXPECT_EQ(snaps[0].first_day, 0);
+  EXPECT_EQ(snaps[1].last_day, 1);
+}
+
+TEST(SnapshotsTest, SplitByWindowGroupsDays) {
+  const auto d = testing_util::SmallCampaign();
+  const std::vector<Snapshot> snaps = SplitByWindow(d.corpus, 3);
+  ASSERT_EQ(snaps.size(), 4u);  // 10 days → 4 windows (3+3+3+1)
+  size_t total = 0;
+  for (const auto& s : snaps) total += s.size();
+  EXPECT_EQ(total, d.corpus.num_tweets());
+  EXPECT_EQ(snaps[3].first_day, 9);
+  EXPECT_EQ(snaps[3].last_day, 9);
+}
+
+TEST(SnapshotsTest, EmptyDaysYieldEmptySnapshots) {
+  Corpus c;
+  const size_t u = c.AddUser("u");
+  c.AddTweet(u, 0, "first");
+  c.AddTweet(u, 3, "last");
+  const std::vector<Snapshot> snaps = SplitByDay(c);
+  ASSERT_EQ(snaps.size(), 4u);
+  EXPECT_EQ(snaps[1].size(), 0u);
+  EXPECT_EQ(snaps[2].size(), 0u);
+}
+
+}  // namespace
+}  // namespace triclust

@@ -1,0 +1,197 @@
+#include "src/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/eval/protocol.h"
+#include "src/util/rng.h"
+
+namespace triclust {
+namespace {
+
+const Sentiment P = Sentiment::kPositive;
+const Sentiment N = Sentiment::kNegative;
+const Sentiment U = Sentiment::kNeutral;
+const Sentiment X = Sentiment::kUnlabeled;
+
+TEST(ClusteringAccuracyTest, PerfectPartitionScoresOne) {
+  const std::vector<int> clusters = {0, 0, 1, 1, 2};
+  const std::vector<Sentiment> truth = {P, P, N, N, U};
+  EXPECT_DOUBLE_EQ(ClusteringAccuracy(clusters, truth), 1.0);
+}
+
+TEST(ClusteringAccuracyTest, InvariantToClusterRelabeling) {
+  const std::vector<Sentiment> truth = {P, P, N, N, U};
+  EXPECT_DOUBLE_EQ(ClusteringAccuracy({2, 2, 0, 0, 1}, truth), 1.0);
+  EXPECT_DOUBLE_EQ(ClusteringAccuracy({5, 5, 9, 9, 7}, truth), 1.0);
+}
+
+TEST(ClusteringAccuracyTest, MajorityVotePartialCredit) {
+  // Cluster 0 = {P, P, N} → majority P (2 correct); cluster 1 = {N} → 1.
+  const std::vector<int> clusters = {0, 0, 0, 1};
+  const std::vector<Sentiment> truth = {P, P, N, N};
+  EXPECT_DOUBLE_EQ(ClusteringAccuracy(clusters, truth), 0.75);
+}
+
+TEST(ClusteringAccuracyTest, SkipsUnlabeledAndUnassigned) {
+  const std::vector<int> clusters = {0, -1, 0, 1};
+  const std::vector<Sentiment> truth = {P, P, X, N};
+  // Evaluable pairs: (0,P), (1,N) → both majority-correct.
+  EXPECT_DOUBLE_EQ(ClusteringAccuracy(clusters, truth), 1.0);
+}
+
+TEST(ClusteringAccuracyTest, EmptyInputScoresZero) {
+  EXPECT_DOUBLE_EQ(ClusteringAccuracy({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(ClusteringAccuracy({-1}, {X}), 0.0);
+}
+
+TEST(NmiTest, PerfectPartitionScoresOne) {
+  const std::vector<int> clusters = {0, 0, 1, 1};
+  const std::vector<Sentiment> truth = {P, P, N, N};
+  EXPECT_NEAR(NormalizedMutualInformation(clusters, truth), 1.0, 1e-12);
+}
+
+TEST(NmiTest, PermutationInvariance) {
+  const std::vector<Sentiment> truth = {P, P, N, N, U, U};
+  const double a = NormalizedMutualInformation({0, 0, 1, 1, 2, 2}, truth);
+  const double b = NormalizedMutualInformation({2, 2, 0, 0, 1, 1}, truth);
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(NmiTest, IndependentPartitionNearZero) {
+  // Each cluster contains one of each class.
+  const std::vector<int> clusters = {0, 1, 0, 1};
+  const std::vector<Sentiment> truth = {P, P, N, N};
+  EXPECT_NEAR(NormalizedMutualInformation(clusters, truth), 0.0, 1e-9);
+}
+
+TEST(NmiTest, SingleClusterConventions) {
+  // Both single-cluster → 1; one single-cluster → 0.
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation({0, 0}, {P, P}), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation({0, 0}, {P, N}), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation({0, 1}, {P, P}), 0.0);
+}
+
+TEST(NmiTest, BoundedInUnitInterval) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int> clusters(30);
+    std::vector<Sentiment> truth(30);
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      clusters[i] = static_cast<int>(rng.NextUint64Below(4));
+      truth[i] = SentimentFromIndex(
+          static_cast<int>(rng.NextUint64Below(3)));
+    }
+    const double nmi = NormalizedMutualInformation(clusters, truth);
+    EXPECT_GE(nmi, 0.0);
+    EXPECT_LE(nmi, 1.0);
+  }
+}
+
+TEST(ClassificationAccuracyTest, CountsExactMatches) {
+  EXPECT_DOUBLE_EQ(ClassificationAccuracy({P, N, P}, {P, N, N}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ClassificationAccuracy({P, X}, {P, P}), 1.0);
+  EXPECT_DOUBLE_EQ(ClassificationAccuracy({P}, {X}), 0.0);
+}
+
+TEST(MajorityVoteMappingTest, MapsClustersToDominantClass) {
+  const std::vector<int> clusters = {0, 0, 0, 1, 1};
+  const std::vector<Sentiment> truth = {P, P, N, N, N};
+  const auto mapping = MajorityVoteMapping(clusters, truth, 2);
+  EXPECT_EQ(mapping[0], P);
+  EXPECT_EQ(mapping[1], N);
+}
+
+TEST(MajorityVoteMappingTest, UnseenClusterDefaultsToClassZero) {
+  const auto mapping = MajorityVoteMapping({0}, {N}, 3);
+  EXPECT_EQ(mapping[0], N);
+  EXPECT_EQ(mapping[1], P);
+  EXPECT_EQ(mapping[2], P);
+}
+
+TEST(ApplyMappingTest, TranslatesAndHandlesUnassigned) {
+  const std::vector<Sentiment> mapping = {N, P};
+  EXPECT_EQ(ApplyMapping({1, 0, -1}, mapping),
+            (std::vector<Sentiment>{P, N, X}));
+}
+
+TEST(ConfusionMatrixTest, CountsAndMacroF1) {
+  const std::vector<Sentiment> truth = {P, P, N, N};
+  const std::vector<Sentiment> pred = {P, N, N, N};
+  const ConfusionMatrix cm = BuildConfusion(pred, truth, 2);
+  EXPECT_EQ(cm.total, 4u);
+  EXPECT_EQ(cm.counts[0][0], 1u);  // P→P
+  EXPECT_EQ(cm.counts[0][1], 1u);  // P→N
+  EXPECT_EQ(cm.counts[1][1], 2u);  // N→N
+  // P: precision 1, recall .5, F1 2/3. N: precision 2/3, recall 1, F1 4/5.
+  EXPECT_NEAR(cm.MacroF1(), 0.5 * (2.0 / 3.0 + 0.8), 1e-12);
+}
+
+TEST(ConfusionMatrixTest, PerfectPredictionF1IsOne) {
+  const std::vector<Sentiment> truth = {P, N, U};
+  const ConfusionMatrix cm = BuildConfusion(truth, truth, 3);
+  EXPECT_DOUBLE_EQ(cm.MacroF1(), 1.0);
+}
+
+// --- protocol ---------------------------------------------------------------
+
+TEST(KFoldTest, BalancedAssignment) {
+  const std::vector<int> folds = KFoldAssignment(100, 5, 42);
+  std::vector<int> counts(5, 0);
+  for (int f : folds) {
+    ASSERT_GE(f, 0);
+    ASSERT_LT(f, 5);
+    ++counts[f];
+  }
+  for (int c : counts) EXPECT_EQ(c, 20);
+}
+
+TEST(KFoldTest, DeterministicInSeed) {
+  EXPECT_EQ(KFoldAssignment(50, 3, 7), KFoldAssignment(50, 3, 7));
+}
+
+TEST(SampleSeedLabelsTest, FractionRespected) {
+  std::vector<Sentiment> truth(1000, P);
+  const auto seeds = SampleSeedLabels(truth, 0.1, 13);
+  size_t kept = 0;
+  for (const Sentiment s : seeds) {
+    if (s != X) ++kept;
+  }
+  EXPECT_GT(kept, 60u);
+  EXPECT_LT(kept, 140u);
+}
+
+TEST(SampleSeedLabelsTest, UnlabeledNeverSeeded) {
+  std::vector<Sentiment> truth = {X, X, P};
+  const auto seeds = SampleSeedLabels(truth, 1.0, 13);
+  EXPECT_EQ(seeds[0], X);
+  EXPECT_EQ(seeds[1], X);
+  EXPECT_EQ(seeds[2], P);
+}
+
+TEST(CrossValidatedAccuracyTest, PerfectOracleScoresOne) {
+  std::vector<Sentiment> truth(60);
+  Rng rng(3);
+  for (auto& s : truth) {
+    s = SentimentFromIndex(static_cast<int>(rng.NextUint64Below(3)));
+  }
+  const double acc = CrossValidatedAccuracy(
+      truth, 5, 1, [&](const std::vector<Sentiment>&) { return truth; });
+  EXPECT_DOUBLE_EQ(acc, 1.0);
+}
+
+TEST(CrossValidatedAccuracyTest, HidesFoldLabelsFromTrainer) {
+  std::vector<Sentiment> truth(40, P);
+  const double acc = CrossValidatedAccuracy(
+      truth, 4, 1, [&](const std::vector<Sentiment>& masked) {
+        size_t hidden = 0;
+        for (const Sentiment s : masked) {
+          if (s == X) ++hidden;
+        }
+        EXPECT_EQ(hidden, 10u);  // one fold hidden per call
+        return masked;           // predicts kUnlabeled on the eval fold
+      });
+  EXPECT_DOUBLE_EQ(acc, 0.0);  // never matches on the hidden fold
+}
+
+}  // namespace
+}  // namespace triclust

@@ -1,0 +1,200 @@
+#include "src/data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/string_util.h"
+#include "tests/test_util.h"
+
+namespace triclust {
+namespace {
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  const SyntheticDataset a = testing_util::SmallCampaign(9);
+  const SyntheticDataset b = testing_util::SmallCampaign(9);
+  ASSERT_EQ(a.corpus.num_tweets(), b.corpus.num_tweets());
+  for (size_t i = 0; i < a.corpus.num_tweets(); ++i) {
+    EXPECT_EQ(a.corpus.tweet(i).text, b.corpus.tweet(i).text);
+    EXPECT_EQ(a.corpus.tweet(i).user, b.corpus.tweet(i).user);
+    EXPECT_EQ(a.corpus.tweet(i).label, b.corpus.tweet(i).label);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  const SyntheticDataset a = testing_util::SmallCampaign(1);
+  const SyntheticDataset b = testing_util::SmallCampaign(2);
+  bool any_diff = a.corpus.num_tweets() != b.corpus.num_tweets();
+  const size_t n = std::min(a.corpus.num_tweets(), b.corpus.num_tweets());
+  for (size_t i = 0; i < n && !any_diff; ++i) {
+    any_diff |= a.corpus.tweet(i).text != b.corpus.tweet(i).text;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, RespectsPopulationConfig) {
+  SyntheticConfig config;
+  config.num_users = 77;
+  config.num_days = 5;
+  config.base_tweets_per_day = 50.0;
+  config.burst_days = {};
+  const SyntheticDataset d = GenerateSynthetic(config);
+  EXPECT_EQ(d.corpus.num_users(), 77u);
+  EXPECT_EQ(d.corpus.num_days(), 5);
+  // Poisson(50) per day over 5 days: comfortably within [150, 400].
+  EXPECT_GT(d.corpus.num_tweets(), 150u);
+  EXPECT_LT(d.corpus.num_tweets(), 400u);
+}
+
+TEST(SyntheticTest, EveryTweetHasLabelAndValidAuthor) {
+  const SyntheticDataset d = testing_util::SmallCampaign();
+  for (const Tweet& t : d.corpus.tweets()) {
+    EXPECT_NE(t.label, Sentiment::kUnlabeled);
+    EXPECT_LT(t.user, d.corpus.num_users());
+    EXPECT_GE(t.day, 0);
+    EXPECT_LT(t.day, d.corpus.num_days());
+    EXPECT_FALSE(t.text.empty());
+  }
+}
+
+TEST(SyntheticTest, RetweetsReferenceEarlierTweetsByOtherUsers) {
+  const SyntheticDataset d = testing_util::SmallCampaign();
+  size_t retweets = 0;
+  for (const Tweet& t : d.corpus.tweets()) {
+    if (!t.IsRetweet()) continue;
+    ++retweets;
+    const Tweet& original =
+        d.corpus.tweet(static_cast<size_t>(t.retweet_of));
+    EXPECT_LT(original.id, t.id);
+    EXPECT_LE(original.day, t.day);
+    EXPECT_NE(original.user, t.user);
+    EXPECT_EQ(original.text, t.text);
+    EXPECT_EQ(original.label, t.label);
+  }
+  EXPECT_GT(retweets, 20u);  // retweet_fraction 0.25 over ~1.3k tweets
+}
+
+TEST(SyntheticTest, RetweetHomophilyAboveChance) {
+  const SyntheticDataset d = testing_util::SmallCampaign();
+  size_t same = 0;
+  size_t total = 0;
+  for (const Tweet& t : d.corpus.tweets()) {
+    if (!t.IsRetweet()) continue;
+    const Tweet& original =
+        d.corpus.tweet(static_cast<size_t>(t.retweet_of));
+    ++total;
+    if (d.corpus.UserSentimentAt(t.user, t.day) ==
+        d.corpus.UserSentimentAt(original.user, original.day)) {
+      ++same;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  // homophily 0.85 with fallback paths; well above the ~0.4 chance level.
+  EXPECT_GT(static_cast<double>(same) / static_cast<double>(total), 0.6);
+}
+
+TEST(SyntheticTest, BurstDayHasHigherVolume) {
+  SyntheticConfig config;
+  config.seed = 3;
+  config.num_users = 100;
+  config.num_days = 10;
+  config.base_tweets_per_day = 80.0;
+  config.burst_days = {4};
+  config.burst_multiplier = 5.0;
+  const SyntheticDataset d = GenerateSynthetic(config);
+  const size_t burst = d.corpus.TweetIdsInDayRange(4, 4).size();
+  const size_t normal = d.corpus.TweetIdsInDayRange(3, 3).size();
+  EXPECT_GT(burst, 2 * normal);
+}
+
+TEST(SyntheticTest, UserStancesMostlySticky) {
+  const SyntheticDataset d = testing_util::SmallCampaign();
+  size_t flips = 0;
+  size_t steps = 0;
+  for (size_t u = 0; u < d.corpus.num_users(); ++u) {
+    for (int day = 1; day < d.corpus.num_days(); ++day) {
+      ++steps;
+      if (d.corpus.UserSentimentAt(u, day) !=
+          d.corpus.UserSentimentAt(u, day - 1)) {
+        ++flips;
+      }
+    }
+  }
+  // flip prob 0.015/day → on aggregate clearly below 5%.
+  EXPECT_LT(static_cast<double>(flips) / static_cast<double>(steps), 0.05);
+  EXPECT_GT(flips, 0u);  // but evolution does happen
+}
+
+TEST(SyntheticTest, TrueLexiconCoversPolarPools) {
+  SyntheticConfig config;
+  config.num_polar_words_per_class = 30;
+  const SyntheticDataset d = GenerateSynthetic(config);
+  EXPECT_EQ(d.true_lexicon.size(), 60u);
+  EXPECT_EQ(d.true_lexicon.PolarityOf("#yeson37"), Sentiment::kPositive);
+  EXPECT_EQ(d.true_lexicon.PolarityOf("#noprop37"), Sentiment::kNegative);
+}
+
+TEST(SyntheticTest, StanceSkewFollowsPrior) {
+  SyntheticConfig config = Prop37LikeConfig(7);
+  config.num_users = 400;
+  config.num_days = 5;
+  config.base_tweets_per_day = 50;
+  const SyntheticDataset d = GenerateSynthetic(config);
+  const auto counts = d.corpus.CountUserLabels();
+  EXPECT_GT(counts.positive, 3 * counts.negative);
+}
+
+TEST(CorruptLexiconTest, FullCoverageNoErrorIsIdentity) {
+  const SyntheticDataset d = testing_util::SmallCampaign();
+  const SentimentLexicon out = CorruptLexicon(d.true_lexicon, 1.0, 0.0, 1);
+  EXPECT_EQ(out.size(), d.true_lexicon.size());
+  for (const auto& [word, polarity] : d.true_lexicon.Entries()) {
+    EXPECT_EQ(out.PolarityOf(word), polarity);
+  }
+}
+
+TEST(CorruptLexiconTest, CoverageShrinksLexicon) {
+  const SyntheticDataset d = testing_util::SmallCampaign();
+  const SentimentLexicon out = CorruptLexicon(d.true_lexicon, 0.5, 0.0, 2);
+  const double ratio = static_cast<double>(out.size()) /
+                       static_cast<double>(d.true_lexicon.size());
+  EXPECT_GT(ratio, 0.3);
+  EXPECT_LT(ratio, 0.7);
+}
+
+TEST(CorruptLexiconTest, ErrorRateFlipsPolarity) {
+  const SyntheticDataset d = testing_util::SmallCampaign();
+  const SentimentLexicon out = CorruptLexicon(d.true_lexicon, 1.0, 1.0, 3);
+  for (const auto& [word, polarity] : d.true_lexicon.Entries()) {
+    EXPECT_NE(out.PolarityOf(word), polarity);
+    EXPECT_NE(out.PolarityOf(word), Sentiment::kUnlabeled);
+  }
+}
+
+TEST(CorruptLexiconTest, DeterministicInSeed) {
+  const SyntheticDataset d = testing_util::SmallCampaign();
+  const SentimentLexicon a = CorruptLexicon(d.true_lexicon, 0.6, 0.1, 11);
+  const SentimentLexicon b = CorruptLexicon(d.true_lexicon, 0.6, 0.1, 11);
+  EXPECT_EQ(a.size(), b.size());
+  for (const auto& [word, polarity] : a.Entries()) {
+    EXPECT_EQ(b.PolarityOf(word), polarity);
+  }
+}
+
+TEST(SyntheticTest, OffClassNoiseProducesMisleadingTweets) {
+  // The "Monsanto is pure evil" effect: some positive tweets must contain
+  // negative-lexicon words.
+  const SyntheticDataset d = testing_util::SmallCampaign();
+  size_t misleading = 0;
+  for (const Tweet& t : d.corpus.tweets()) {
+    if (t.label != Sentiment::kPositive || t.IsRetweet()) continue;
+    for (const auto& tok : SplitWhitespace(t.text)) {
+      if (d.true_lexicon.PolarityOf(tok) == Sentiment::kNegative) {
+        ++misleading;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(misleading, 10u);
+}
+
+}  // namespace
+}  // namespace triclust

@@ -1,0 +1,116 @@
+#include "src/core/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace triclust {
+namespace {
+
+struct TimelineFixture {
+  testing_util::SmallProblem problem;
+  std::vector<Snapshot> snapshots;
+  SentimentLexicon lexicon;
+};
+
+TimelineFixture MakeFixture() {
+  TimelineFixture f{testing_util::MakeSmallProblem(), {}, {}};
+  f.snapshots = SplitByDay(f.problem.dataset.corpus);
+  f.lexicon = CorruptLexicon(f.problem.dataset.true_lexicon, 0.7, 0.02, 5);
+  return f;
+}
+
+OnlineConfig FastConfig() {
+  OnlineConfig config;
+  config.base.max_iterations = 25;
+  config.base.track_loss = false;
+  return config;
+}
+
+TEST(TimelineTest, ModeNamesStable) {
+  EXPECT_STREQ(TimelineModeName(TimelineMode::kOnline), "online");
+  EXPECT_STREQ(TimelineModeName(TimelineMode::kMiniBatch), "mini-batch");
+  EXPECT_STREQ(TimelineModeName(TimelineMode::kFullBatch), "full-batch");
+}
+
+TEST(TimelineTest, OnlineProducesOneStepPerSnapshot) {
+  const auto f = MakeFixture();
+  const auto steps =
+      RunTimeline(f.problem.dataset.corpus, f.problem.builder, f.snapshots,
+                  f.lexicon, TimelineMode::kOnline, FastConfig());
+  ASSERT_EQ(steps.size(), f.snapshots.size());
+  for (size_t s = 0; s < steps.size(); ++s) {
+    EXPECT_EQ(steps[s].snapshot_index, static_cast<int>(s));
+    EXPECT_EQ(steps[s].num_tweets, f.snapshots[s].size());
+    EXPECT_GE(steps[s].seconds, 0.0);
+    if (steps[s].num_tweets > 0) {
+      EXPECT_GT(steps[s].tweet_accuracy, 0.0);
+      EXPECT_LE(steps[s].tweet_accuracy, 100.0);
+      EXPECT_GE(steps[s].user_accuracy, 0.0);
+      EXPECT_LE(steps[s].user_accuracy, 100.0);
+    }
+  }
+}
+
+TEST(TimelineTest, AllModesScoreAboveChance) {
+  const auto f = MakeFixture();
+  for (const TimelineMode mode :
+       {TimelineMode::kOnline, TimelineMode::kMiniBatch,
+        TimelineMode::kFullBatch}) {
+    const auto steps =
+        RunTimeline(f.problem.dataset.corpus, f.problem.builder, f.snapshots,
+                    f.lexicon, mode, FastConfig());
+    EXPECT_GT(AverageTweetAccuracy(steps), 50.0)
+        << TimelineModeName(mode);
+    EXPECT_GT(AverageUserAccuracy(steps), 50.0)
+        << TimelineModeName(mode);
+  }
+}
+
+TEST(TimelineTest, OnlineNotWorseThanMiniBatch) {
+  // The headline claim of §5.2: temporal regularization buys accuracy over
+  // independent per-snapshot solves. Allow a small tolerance: individual
+  // snapshots vary.
+  const auto f = MakeFixture();
+  const auto online =
+      RunTimeline(f.problem.dataset.corpus, f.problem.builder, f.snapshots,
+                  f.lexicon, TimelineMode::kOnline, FastConfig());
+  const auto mini =
+      RunTimeline(f.problem.dataset.corpus, f.problem.builder, f.snapshots,
+                  f.lexicon, TimelineMode::kMiniBatch, FastConfig());
+  EXPECT_GE(AverageUserAccuracy(online) + 3.0, AverageUserAccuracy(mini));
+  EXPECT_GE(AverageTweetAccuracy(online) + 3.0, AverageTweetAccuracy(mini));
+}
+
+TEST(TimelineTest, FullBatchCostsMoreTimeThanOnline) {
+  const auto f = MakeFixture();
+  const auto online =
+      RunTimeline(f.problem.dataset.corpus, f.problem.builder, f.snapshots,
+                  f.lexicon, TimelineMode::kOnline, FastConfig());
+  const auto full =
+      RunTimeline(f.problem.dataset.corpus, f.problem.builder, f.snapshots,
+                  f.lexicon, TimelineMode::kFullBatch, FastConfig());
+  // Full-batch re-solves growing prefixes; across the whole stream its
+  // total time must dominate online's.
+  EXPECT_GT(TotalSeconds(full), TotalSeconds(online));
+}
+
+TEST(TimelineTest, AveragesIgnoreEmptySnapshots) {
+  std::vector<TimelineStepMetrics> steps(3);
+  steps[0].num_tweets = 10;
+  steps[0].tweet_accuracy = 80.0;
+  steps[0].user_accuracy = 90.0;
+  steps[0].seconds = 1.0;
+  steps[1].num_tweets = 0;  // ignored
+  steps[1].tweet_accuracy = 0.0;
+  steps[2].num_tweets = 5;
+  steps[2].tweet_accuracy = 60.0;
+  steps[2].user_accuracy = 70.0;
+  steps[2].seconds = 0.5;
+  EXPECT_DOUBLE_EQ(AverageTweetAccuracy(steps), 70.0);
+  EXPECT_DOUBLE_EQ(AverageUserAccuracy(steps), 80.0);
+  EXPECT_DOUBLE_EQ(TotalSeconds(steps), 1.5);
+}
+
+}  // namespace
+}  // namespace triclust

@@ -1,0 +1,220 @@
+#include "src/core/updates.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/objective.h"
+#include "src/matrix/ops.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace triclust {
+namespace {
+
+using testing_util::RandomPositive;
+using testing_util::RandomSparse;
+
+/// A random instance of the full offline problem.
+struct Instance {
+  SparseMatrix xp, xu, xr;
+  UserGraph gu;
+  DenseMatrix sp, su, sf, hp, hu;
+  DenseMatrix sf0;
+  double alpha = 0.1;
+  double beta = 0.5;
+};
+
+Instance MakeInstance(uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = 12 + rng.NextUint64Below(20);  // tweets
+  const size_t m = 6 + rng.NextUint64Below(10);   // users
+  const size_t l = 15 + rng.NextUint64Below(25);  // features
+  const size_t k = 3;
+
+  Instance inst;
+  inst.xp = RandomSparse(n, l, 0.25, &rng);
+  inst.xu = RandomSparse(m, l, 0.3, &rng);
+  inst.xr = RandomSparse(m, n, 0.2, &rng);
+  std::vector<UserGraph::Edge> edges;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      if (rng.Bernoulli(0.3)) edges.push_back({i, j, rng.Uniform(0.5, 2.0)});
+    }
+  }
+  inst.gu = UserGraph::FromEdges(m, edges);
+  inst.sp = RandomPositive(n, k, &rng);
+  inst.su = RandomPositive(m, k, &rng);
+  inst.sf = RandomPositive(l, k, &rng);
+  inst.hp = RandomPositive(k, k, &rng);
+  inst.hu = RandomPositive(k, k, &rng);
+  inst.sf0 = RandomPositive(l, k, &rng);
+  return inst;
+}
+
+double Objective(const Instance& inst) {
+  return ComputeObjective(inst.xp, inst.xu, inst.xr, inst.gu, inst.sp,
+                          inst.su, inst.sf, inst.hp, inst.hu, inst.alpha,
+                          inst.sf0, inst.beta)
+      .Total();
+}
+
+constexpr double kEps = 1e-12;
+// One multiplicative step may overshoot within floating-point noise of the
+// theory; allow a relative slack.
+constexpr double kSlack = 1e-7;
+
+class UpdateRuleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UpdateRuleTest, HpStepNonIncreasingAndNonNegative) {
+  Instance inst = MakeInstance(GetParam());
+  const double before = Objective(inst);
+  update::UpdateHp(inst.xp, inst.sp, inst.sf, &inst.hp, kEps);
+  EXPECT_TRUE(IsNonNegative(inst.hp));
+  EXPECT_TRUE(AllFinite(inst.hp));
+  EXPECT_LE(Objective(inst), before * (1.0 + kSlack));
+}
+
+TEST_P(UpdateRuleTest, HuStepNonIncreasingAndNonNegative) {
+  Instance inst = MakeInstance(GetParam() + 100);
+  const double before = Objective(inst);
+  update::UpdateHu(inst.xu, inst.su, inst.sf, &inst.hu, kEps);
+  EXPECT_TRUE(IsNonNegative(inst.hu));
+  EXPECT_TRUE(AllFinite(inst.hu));
+  EXPECT_LE(Objective(inst), before * (1.0 + kSlack));
+}
+
+TEST_P(UpdateRuleTest, SpStepKeepsInvariants) {
+  Instance inst = MakeInstance(GetParam() + 200);
+  update::UpdateSp(inst.xp, inst.xr, inst.sf, inst.hp, inst.su, &inst.sp,
+                   kEps);
+  EXPECT_TRUE(IsNonNegative(inst.sp));
+  EXPECT_TRUE(AllFinite(inst.sp));
+}
+
+TEST_P(UpdateRuleTest, SuStepKeepsInvariants) {
+  Instance inst = MakeInstance(GetParam() + 300);
+  update::UpdateSu(inst.xu, inst.xr, inst.gu, inst.sf, inst.hu, inst.sp,
+                   inst.beta, nullptr, nullptr, &inst.su, kEps);
+  EXPECT_TRUE(IsNonNegative(inst.su));
+  EXPECT_TRUE(AllFinite(inst.su));
+}
+
+TEST_P(UpdateRuleTest, SfStepKeepsInvariants) {
+  Instance inst = MakeInstance(GetParam() + 400);
+  update::UpdateSf(inst.xp, inst.xu, inst.sp, inst.su, inst.hp, inst.hu,
+                   inst.alpha, inst.sf0, &inst.sf, kEps);
+  EXPECT_TRUE(IsNonNegative(inst.sf));
+  EXPECT_TRUE(AllFinite(inst.sf));
+}
+
+TEST_P(UpdateRuleTest, FullSweepNonIncreasingAfterWarmup) {
+  // The paper proves each rule is non-increasing at fixed other factors;
+  // the composed sweep (Algorithm 1 body) must drive the total objective
+  // down across iterations once past the first adjustment steps.
+  Instance inst = MakeInstance(GetParam() + 500);
+  double previous = Objective(inst);
+  double first = previous;
+  for (int iter = 0; iter < 30; ++iter) {
+    update::UpdateSp(inst.xp, inst.xr, inst.sf, inst.hp, inst.su, &inst.sp,
+                     kEps);
+    update::UpdateHp(inst.xp, inst.sp, inst.sf, &inst.hp, kEps);
+    update::UpdateSu(inst.xu, inst.xr, inst.gu, inst.sf, inst.hu, inst.sp,
+                     inst.beta, nullptr, nullptr, &inst.su, kEps);
+    update::UpdateHu(inst.xu, inst.su, inst.sf, &inst.hu, kEps);
+    update::UpdateSf(inst.xp, inst.xu, inst.sp, inst.su, inst.hp, inst.hu,
+                     inst.alpha, inst.sf0, &inst.sf, kEps);
+    previous = Objective(inst);
+  }
+  EXPECT_LT(previous, first);
+}
+
+TEST_P(UpdateRuleTest, TemporalSuStepKeepsInvariants) {
+  Instance inst = MakeInstance(GetParam() + 600);
+  Rng rng(GetParam() + 601);
+  DenseMatrix suw = RandomPositive(inst.su.rows(), inst.su.cols(), &rng);
+  std::vector<double> weights(inst.su.rows(), 0.0);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (rng.Bernoulli(0.5)) weights[i] = 0.2;  // evolving user rows
+  }
+  update::UpdateSu(inst.xu, inst.xr, inst.gu, inst.sf, inst.hu, inst.sp,
+                   inst.beta, &weights, &suw, &inst.su, kEps);
+  EXPECT_TRUE(IsNonNegative(inst.su));
+  EXPECT_TRUE(AllFinite(inst.su));
+}
+
+TEST_P(UpdateRuleTest, TemporalSuUpdateNonIncreasingObjective) {
+  // Paper Lemma 3: the online objective (including γ·||Su − Suw||² over
+  // evolving users) is non-increasing under the Eq. (26) update, holding
+  // the other factors fixed.
+  Instance inst = MakeInstance(GetParam() + 700);
+  Rng rng(GetParam() + 701);
+  const DenseMatrix suw =
+      RandomPositive(inst.su.rows(), inst.su.cols(), &rng);
+  std::vector<double> weights(inst.su.rows(), 0.0);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (rng.Bernoulli(0.6)) weights[i] = 0.4;  // evolving rows
+  }
+  auto objective = [&]() {
+    return ComputeObjective(inst.xp, inst.xu, inst.xr, inst.gu, inst.sp,
+                            inst.su, inst.sf, inst.hp, inst.hu, inst.alpha,
+                            inst.sf0, inst.beta, &weights, &suw)
+        .Total();
+  };
+  double previous = objective();
+  for (int i = 0; i < 5; ++i) {
+    update::UpdateSu(inst.xu, inst.xr, inst.gu, inst.sf, inst.hu, inst.sp,
+                     inst.beta, &weights, &suw, &inst.su, kEps);
+    const double now = objective();
+    EXPECT_LE(now, previous * (1.0 + kSlack)) << "step " << i;
+    previous = now;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, UpdateRuleTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+TEST(UpdateRuleEdgeTest, EmptyUserSideIsHarmless) {
+  // The ESSA reduction: zero users must not break Sp/Sf/Hp updates.
+  Rng rng(77);
+  const size_t n = 10;
+  const size_t l = 12;
+  const size_t k = 3;
+  const SparseMatrix xp = RandomSparse(n, l, 0.3, &rng);
+  SparseMatrix::Builder xu_builder(0, l);
+  const SparseMatrix xu = xu_builder.Build();
+  SparseMatrix::Builder xr_builder(0, n);
+  const SparseMatrix xr = xr_builder.Build();
+  const UserGraph gu(0);
+  DenseMatrix sp = RandomPositive(n, k, &rng);
+  DenseMatrix su(0, k);
+  DenseMatrix sf = RandomPositive(l, k, &rng);
+  DenseMatrix hp = RandomPositive(k, k, &rng);
+  DenseMatrix hu = DenseMatrix::Identity(k);
+  const DenseMatrix sf0 = RandomPositive(l, k, &rng);
+
+  const double before = TriFactorizationLossSquared(xp, sp, hp, sf);
+  for (int i = 0; i < 10; ++i) {
+    update::UpdateSp(xp, xr, sf, hp, su, &sp, kEps);
+    update::UpdateHp(xp, sp, sf, &hp, kEps);
+    update::UpdateSf(xp, xu, sp, su, hp, hu, 0.1, sf0, &sf, kEps);
+  }
+  EXPECT_LT(TriFactorizationLossSquared(xp, sp, hp, sf), before);
+}
+
+TEST(UpdateRuleEdgeTest, ZeroRegularizationWeightsAccepted) {
+  Instance inst = MakeInstance(42);
+  inst.alpha = 0.0;
+  inst.beta = 0.0;
+  const double before = Objective(inst);
+  for (int i = 0; i < 10; ++i) {
+    update::UpdateSp(inst.xp, inst.xr, inst.sf, inst.hp, inst.su, &inst.sp,
+                     kEps);
+    update::UpdateSu(inst.xu, inst.xr, inst.gu, inst.sf, inst.hu, inst.sp,
+                     0.0, nullptr, nullptr, &inst.su, kEps);
+    update::UpdateSf(inst.xp, inst.xu, inst.sp, inst.su, inst.hp, inst.hu,
+                     0.0, inst.sf0, &inst.sf, kEps);
+  }
+  EXPECT_LT(Objective(inst), before);
+}
+
+}  // namespace
+}  // namespace triclust
