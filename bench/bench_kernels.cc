@@ -11,10 +11,22 @@
 #include "src/matrix/ops.h"
 #include "src/text/tokenizer.h"
 #include "src/text/vectorizer.h"
+#include "src/util/parallel.h"
 #include "src/util/rng.h"
 
 namespace triclust {
 namespace {
+
+/// Thread counts for the parallel-kernel sweeps: serial baseline, 2, 4, and
+/// whatever the machine offers (0 = hardware concurrency).
+void ThreadSweep(benchmark::internal::Benchmark* b,
+                 std::initializer_list<int64_t> sizes) {
+  for (const int64_t size : sizes) {
+    for (const int64_t threads : {1, 2, 4, 0}) {
+      b->Args({size, threads});
+    }
+  }
+}
 
 SparseMatrix MakeSparse(size_t rows, size_t cols, size_t nnz_per_row,
                         uint64_t seed) {
@@ -30,17 +42,24 @@ SparseMatrix MakeSparse(size_t rows, size_t cols, size_t nnz_per_row,
 
 void BM_SpMM(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
+  const ScopedNumThreads threads(static_cast<int>(state.range(1)));
   const SparseMatrix x = MakeSparse(n, 5000, 12, 1);
   Rng rng(2);
   const DenseMatrix d = DenseMatrix::Random(5000, 3, &rng, 0.0, 1.0);
+  DenseMatrix c;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(SpMM(x, d));
+    SpMMInto(x, d, &c);
+    benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(x.nnz()));
 }
-BENCHMARK(BM_SpMM)->Arg(1000)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_SpMM)->Apply([](benchmark::internal::Benchmark* b) {
+  ThreadSweep(b, {1000, 10000, 50000});
+});
 
+/// Legacy serial scatter-transpose product, kept as the baseline for the
+/// cached-transpose reformulation below.
 void BM_SpTMM(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const SparseMatrix x = MakeSparse(n, 5000, 12, 3);
@@ -54,8 +73,50 @@ void BM_SpTMM(benchmark::State& state) {
 }
 BENCHMARK(BM_SpTMM)->Arg(1000)->Arg(10000)->Arg(50000);
 
+/// Xᵀ·D as the solver now computes it: parallel SpMM over a transpose the
+/// update workspace caches once per fit (the transpose cost is excluded,
+/// as it is amortized over all iterations).
+void BM_SpTMMViaCachedTranspose(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const ScopedNumThreads threads(static_cast<int>(state.range(1)));
+  const SparseMatrix x = MakeSparse(n, 5000, 12, 3);
+  const SparseMatrix xt = x.Transposed();
+  Rng rng(4);
+  const DenseMatrix d = DenseMatrix::Random(n, 3, &rng, 0.0, 1.0);
+  DenseMatrix c;
+  for (auto _ : state) {
+    SpMMInto(xt, d, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.nnz()));
+}
+BENCHMARK(BM_SpTMMViaCachedTranspose)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      ThreadSweep(b, {1000, 10000, 50000});
+    });
+
+/// The k×k reduction workhorse (SᵀS and friends) over a tall factor.
+void BM_MatMulAtB(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const ScopedNumThreads threads(static_cast<int>(state.range(1)));
+  Rng rng(5);
+  const DenseMatrix s = DenseMatrix::Random(n, 3, &rng, 0.0, 1.0);
+  DenseMatrix c;
+  for (auto _ : state) {
+    MatMulAtBInto(s, s, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MatMulAtB)->Apply([](benchmark::internal::Benchmark* b) {
+  ThreadSweep(b, {10000, 100000, 1000000});
+});
+
 void BM_FactorizationLoss(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
+  const ScopedNumThreads threads(static_cast<int>(state.range(1)));
   const SparseMatrix x = MakeSparse(n, n / 2, 10, 5);
   Rng rng(6);
   const DenseMatrix u = DenseMatrix::Random(n, 3, &rng, 0.0, 1.0);
@@ -64,12 +125,16 @@ void BM_FactorizationLoss(benchmark::State& state) {
     benchmark::DoNotOptimize(FactorizationLossSquared(x, u, v));
   }
 }
-BENCHMARK(BM_FactorizationLoss)->Arg(2000)->Arg(20000);
+BENCHMARK(BM_FactorizationLoss)->Apply([](benchmark::internal::Benchmark* b) {
+  ThreadSweep(b, {2000, 20000});
+});
 
 /// One full offline sweep (all five update rules) on a synthetic problem of
-/// n tweets, n/4 users, 5000 features, k = 3.
+/// n tweets, n/4 users, 5000 features, k = 3, with the workspace-cached
+/// transposes and scratch the production solvers use.
 void BM_OfflineIteration(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
+  const ScopedNumThreads threads(static_cast<int>(state.range(1)));
   const size_t m = n / 4;
   const size_t l = 5000;
   const size_t k = 3;
@@ -92,19 +157,24 @@ void BM_OfflineIteration(benchmark::State& state) {
   DenseMatrix hu = DenseMatrix::Random(k, k, &rng, 0.1, 1.0);
   const DenseMatrix sf0 = DenseMatrix::Random(l, k, &rng, 0.1, 1.0);
 
+  update::UpdateWorkspace workspace;
   for (auto _ : state) {
-    update::UpdateSp(xp, xr, sf, hp, su, &sp, 1e-12);
-    update::UpdateHp(xp, sp, sf, &hp, 1e-12);
+    update::UpdateSp(xp, xr, sf, hp, su, &sp, 1e-12, 0.0, nullptr, nullptr,
+                     &workspace);
+    update::UpdateHp(xp, sp, sf, &hp, 1e-12, &workspace);
     update::UpdateSu(xu, xr, gu, sf, hu, sp, 0.8, nullptr, nullptr, &su,
-                     1e-12);
-    update::UpdateHu(xu, su, sf, &hu, 1e-12);
-    update::UpdateSf(xp, xu, sp, su, hp, hu, 0.05, sf0, &sf, 1e-12);
+                     1e-12, 0.0, &workspace);
+    update::UpdateHu(xu, su, sf, &hu, 1e-12, &workspace);
+    update::UpdateSf(xp, xu, sp, su, hp, hu, 0.05, sf0, &sf, 1e-12, 0.0,
+                     &workspace);
   }
   state.SetItemsProcessed(
       static_cast<int64_t>(state.iterations()) *
       static_cast<int64_t>(xp.nnz() + xu.nnz() + xr.nnz()));
 }
-BENCHMARK(BM_OfflineIteration)->Arg(2000)->Arg(10000)->Arg(40000);
+BENCHMARK(BM_OfflineIteration)->Apply([](benchmark::internal::Benchmark* b) {
+  ThreadSweep(b, {2000, 10000, 40000});
+});
 
 void BM_Tokenize(benchmark::State& state) {
   const SyntheticDataset d = GenerateSynthetic(Prop30LikeConfig());

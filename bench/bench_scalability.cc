@@ -5,14 +5,54 @@
 /// campaign volume repeatedly and reports solve time per tweet.
 
 #include <iostream>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/offline.h"
+#include "src/util/parallel.h"
 #include "src/util/stopwatch.h"
 #include "src/util/table_writer.h"
 
 namespace triclust {
 namespace {
+
+/// Strong-scaling sweep: the same offline solve at 1/2/4/hardware threads.
+/// With the row-partitioned kernels the speedup should track the physical
+/// core count until the O(k²)-per-row arithmetic is memory-bound.
+void RunThreadSweep() {
+  bench_util::PrintHeader(
+      "Scalability: offline solve time vs num_threads (parallel kernels)");
+  const bench_util::BenchDataset b =
+      bench_util::Prepare("thread-sweep", Prop30LikeConfig());
+  const DenseMatrix sf0 = b.lexicon.BuildSf0(b.builder.vocabulary(), 3);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::vector<int> thread_counts = {1, 2, 4};
+  if (hw > 4) thread_counts.push_back(static_cast<int>(hw));
+
+  TableWriter table("Offline solve, 30 iterations, k=3, varying threads");
+  table.SetHeader({"threads", "time (s)", "speedup vs 1"});
+  double serial_seconds = 0.0;
+  for (const int threads : thread_counts) {
+    TriClusterConfig solver_config;
+    solver_config.max_iterations = 30;
+    solver_config.tolerance = 0.0;
+    solver_config.track_loss = false;
+    solver_config.num_threads = threads;
+
+    Stopwatch watch;
+    const TriClusterResult r =
+        OfflineTriClusterer(solver_config).Run(b.data, sf0);
+    const double seconds = watch.ElapsedSeconds();
+    (void)r;
+    if (threads == 1) serial_seconds = seconds;
+    table.AddRow({std::to_string(threads), TableWriter::Num(seconds, 3),
+                  TableWriter::Num(serial_seconds / seconds, 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nHardware concurrency on this machine: " << hw << "\n\n";
+}
 
 void Run() {
   bench_util::PrintHeader(
@@ -60,5 +100,6 @@ void Run() {
 
 int main() {
   triclust::Run();
+  triclust::RunThreadSweep();
   return 0;
 }

@@ -36,6 +36,14 @@ struct TriClusterConfig {
   /// framework):  + λs·(||Sp||₁ + ||Su||₁ + ||Sf||₁). Enters each
   /// multiplicative rule as a constant in the denominator; 0 disables.
   double sparsity = 0.0;
+  /// Compute threads used by the solver's kernels for this fit
+  /// (src/util/parallel.h): 0 = hardware concurrency, 1 = the exact
+  /// historical serial path (bit-identical results), n = at most n threads.
+  /// Row-partitioned kernels are bit-identical at every setting; the loss
+  /// reductions agree across all settings ≥ 2 and within rounding of 1.
+  /// The setting is installed process-globally for the fit's duration —
+  /// concurrent fits in one process must agree on it (see parallel.h).
+  int num_threads = 1;
   /// Seed of the factor initialization.
   uint64_t seed = 7;
   InitStrategy init = InitStrategy::kLexiconSeeded;

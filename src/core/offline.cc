@@ -7,6 +7,7 @@
 #include "src/core/updates.h"
 #include "src/matrix/ops.h"
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 
 namespace triclust {
 
@@ -16,6 +17,7 @@ OfflineTriClusterer::OfflineTriClusterer(TriClusterConfig config)
   TRICLUST_CHECK_GE(config_.alpha, 0.0);
   TRICLUST_CHECK_GE(config_.beta, 0.0);
   TRICLUST_CHECK_GE(config_.max_iterations, 1);
+  TRICLUST_CHECK_GE(config_.num_threads, 0);
 }
 
 namespace {
@@ -65,6 +67,12 @@ TriClusterResult OfflineTriClusterer::Run(const DatasetMatrices& data,
   TRICLUST_CHECK_EQ(data.xp.cols(), data.xu.cols());
   TRICLUST_CHECK_EQ(sf0.rows(), data.xp.cols());
   TRICLUST_CHECK_EQ(sf0.cols(), static_cast<size_t>(config_.num_clusters));
+
+  // Every kernel under this fit honors the configured thread budget, and
+  // one workspace amortizes the data-matrix transposes plus all update
+  // scratch across iterations.
+  ScopedNumThreads thread_scope(config_.num_threads);
+  update::UpdateWorkspace workspace;
 
   FactorSet f = InitializeFactors(data, sf0, config_);
   const double eps = config_.epsilon;
@@ -120,16 +128,17 @@ TriClusterResult OfflineTriClusterer::Run(const DatasetMatrices& data,
     update::UpdateSp(data.xp, data.xr, f.sf, f.hp, f.su, &f.sp, eps,
                      config_.sparsity,
                      guide_tweets ? &tweet_seed_weights : nullptr,
-                     guide_tweets ? &tweet_seed_target : nullptr);
-    update::UpdateHp(data.xp, f.sp, f.sf, &f.hp, eps);
+                     guide_tweets ? &tweet_seed_target : nullptr,
+                     &workspace);
+    update::UpdateHp(data.xp, f.sp, f.sf, &f.hp, eps, &workspace);
     update::UpdateSu(data.xu, data.xr, data.gu, f.sf, f.hu, f.sp,
                      config_.beta,
                      guide_users ? &user_seed_weights : nullptr,
                      guide_users ? &user_seed_target : nullptr, &f.su, eps,
-                     config_.sparsity);
-    update::UpdateHu(data.xu, f.su, f.sf, &f.hu, eps);
+                     config_.sparsity, &workspace);
+    update::UpdateHu(data.xu, f.su, f.sf, &f.hu, eps, &workspace);
     update::UpdateSf(data.xp, data.xu, f.sp, f.su, f.hp, f.hu, config_.alpha,
-                     sf0, &f.sf, eps, config_.sparsity);
+                     sf0, &f.sf, eps, config_.sparsity, &workspace);
 
     result.iterations = iter + 1;
     const double total = record_loss();

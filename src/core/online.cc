@@ -10,6 +10,7 @@
 #include "src/matrix/io.h"
 #include "src/matrix/ops.h"
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 #include "src/util/rng.h"
 #include "src/util/string_util.h"
 
@@ -166,6 +167,12 @@ TriClusterResult OnlineTriClusterer::ProcessSnapshot(
   TRICLUST_CHECK_EQ(data.xp.cols(), sf0_.rows());
   const double eps = config_.base.epsilon;
 
+  // One thread budget + one update workspace per snapshot fit, mirroring
+  // the offline solver (the snapshot's matrices outlive the workspace's
+  // cached transposes).
+  ScopedNumThreads thread_scope(config_.base.num_threads);
+  update::UpdateWorkspace workspace;
+
   const DenseMatrix sfw = ComputeSfw();
   last_sfw_ = sfw;
 
@@ -277,14 +284,14 @@ TriClusterResult OnlineTriClusterer::ProcessSnapshot(
     // before Sf): updating Sf against the still-uninformative Sp/Su of the
     // first iterations would corrupt the carried-over feature state.
     update::UpdateSp(data.xp, data.xr, f.sf, f.hp, f.su, &f.sp, eps,
-                     config_.base.sparsity);
-    update::UpdateHp(data.xp, f.sp, f.sf, &f.hp, eps);
+                     config_.base.sparsity, nullptr, nullptr, &workspace);
+    update::UpdateHp(data.xp, f.sp, f.sf, &f.hp, eps, &workspace);
     update::UpdateSu(data.xu, data.xr, data.gu, f.sf, f.hu, f.sp,
                      config_.base.beta, &temporal_weights, &suw, &f.su, eps,
-                     config_.base.sparsity);
-    update::UpdateHu(data.xu, f.su, f.sf, &f.hu, eps);
+                     config_.base.sparsity, &workspace);
+    update::UpdateHu(data.xu, f.su, f.sf, &f.hu, eps, &workspace);
     update::UpdateSf(data.xp, data.xu, f.sp, f.su, f.hp, f.hu, config_.alpha,
-                     sfw, &f.sf, eps, config_.base.sparsity);
+                     sfw, &f.sf, eps, config_.base.sparsity, &workspace);
 
     result.iterations = iter + 1;
     const double total = record_loss();

@@ -6,12 +6,58 @@
 namespace triclust {
 namespace update {
 
+// Every rule below performs the exact operation sequence of the original
+// allocate-per-call implementation, with each temporary replaced by a
+// workspace buffer (and the SpTMM scatter products replaced by SpMM over
+// the cached transpose, which accumulates every output entry in the same
+// order) — so results are bit-identical to the historical code path.
+
+namespace {
+
+using Slot = UpdateWorkspace::TransposeSlot;
+
+/// Adds the L1 sparsity sub-gradient constant to the denominator.
+void AddSparsity(DenseMatrix* denom, double sparsity) {
+  if (sparsity <= 0.0) return;
+  double* p = denom->data();
+  for (size_t i = 0; i < denom->size(); ++i) p[i] += sparsity;
+}
+
+/// Xᵀ·D into `out`. With a caller-owned workspace (`cache` non-null), the
+/// parallel SpMM over the transpose cached in `slot` (built once per fit);
+/// without one, the one-pass serial scatter — building a throwaway
+/// transpose per call would double the sparse traffic of the legacy path.
+/// Both accumulate each output entry in the same order, so the results are
+/// bit-identical.
+void TransposedSpMM(UpdateWorkspace* cache, Slot slot, const SparseMatrix& x,
+                    const DenseMatrix& d, DenseMatrix* out) {
+  if (cache != nullptr) {
+    SpMMInto(cache->Transposed(slot, x), d, out);
+  } else {
+    SpTMMInto(x, d, out);
+  }
+}
+
+}  // namespace
+
+const SparseMatrix& UpdateWorkspace::Transposed(TransposeSlot slot,
+                                                const SparseMatrix& x) {
+  CachedTranspose& entry = transpose_cache_[static_cast<int>(slot)];
+  if (entry.source != &x) {
+    entry.transposed = x.Transposed();
+    entry.source = &x;
+  }
+  return entry.transposed;
+}
+
 void UpdateSf(const SparseMatrix& xp, const SparseMatrix& xu,
               const DenseMatrix& sp, const DenseMatrix& su,
               const DenseMatrix& hp, const DenseMatrix& hu, double alpha,
               const DenseMatrix& sf_target, DenseMatrix* sf, double eps,
-              double sparsity) {
+              double sparsity, UpdateWorkspace* workspace) {
   TRICLUST_CHECK(sf != nullptr);
+  UpdateWorkspace local;
+  UpdateWorkspace& ws = workspace != nullptr ? *workspace : local;
   const size_t l = sf->rows();
   const size_t k = sf->cols();
   TRICLUST_CHECK_EQ(xp.cols(), l);
@@ -20,51 +66,58 @@ void UpdateSf(const SparseMatrix& xp, const SparseMatrix& xu,
   TRICLUST_CHECK_EQ(sf_target.cols(), k);
 
   // l×k data-driven pull terms.
-  const DenseMatrix xut_su_hu = MatMul(SpTMM(xu, su), hu);  // Xuᵀ·Su·Hu
-  const DenseMatrix xpt_sp_hp = MatMul(SpTMM(xp, sp), hp);  // Xpᵀ·Sp·Hp
+  TransposedSpMM(workspace, Slot::kXu, xu, su, &ws.rows_a);
+  MatMulInto(ws.rows_a, hu, &ws.rows_b);  // Xuᵀ·Su·Hu
+  TransposedSpMM(workspace, Slot::kXp, xp, sp, &ws.rows_a);
+  MatMulInto(ws.rows_a, hp, &ws.rows_c);  // Xpᵀ·Sp·Hp
 
   // k×k quadratic terms.
-  const DenseMatrix sutsu = MatMulAtB(su, su);
-  const DenseMatrix sptsp = MatMulAtB(sp, sp);
-  const DenseMatrix hut_sutsu_hu = MatMulAtB(hu, MatMul(sutsu, hu));
-  const DenseMatrix hpt_sptsp_hp = MatMulAtB(hp, MatMul(sptsp, hp));
+  MatMulAtBInto(su, su, &ws.kk_a);     // SuᵀSu
+  MatMulAtBInto(sp, sp, &ws.kk_b);     // SpᵀSp
+  MatMulInto(ws.kk_a, hu, &ws.kk_c);
+  MatMulAtBInto(hu, ws.kk_c, &ws.kk_d);  // HuᵀSuᵀSuHu
+  MatMulInto(ws.kk_b, hp, &ws.kk_c);
+  MatMulAtBInto(hp, ws.kk_c, &ws.kk_e);  // HpᵀSpᵀSpHp
 
   // Δ_Sf = SfᵀXuᵀSuHu − HuᵀSuᵀSuHu + SfᵀXpᵀSpHp − HpᵀSpᵀSpHp
   //        − α·Sfᵀ(Sf − Sf_target).
-  DenseMatrix delta = MatMulAtB(*sf, xut_su_hu);
-  delta.SubInPlace(hut_sutsu_hu);
-  delta.AddInPlace(MatMulAtB(*sf, xpt_sp_hp));
-  delta.SubInPlace(hpt_sptsp_hp);
-  DenseMatrix lexicon_pull = MatMulAtB(*sf, *sf);
-  lexicon_pull.SubInPlace(MatMulAtB(*sf, sf_target));
-  delta.Axpy(-alpha, lexicon_pull);
+  MatMulAtBInto(*sf, ws.rows_b, &ws.delta);
+  ws.delta.SubInPlace(ws.kk_d);
+  MatMulAtBInto(*sf, ws.rows_c, &ws.kk_c);
+  ws.delta.AddInPlace(ws.kk_c);
+  ws.delta.SubInPlace(ws.kk_e);
+  MatMulAtBInto(*sf, *sf, &ws.kk_f);
+  MatMulAtBInto(*sf, sf_target, &ws.kk_c);
+  ws.kk_f.SubInPlace(ws.kk_c);
+  ws.delta.Axpy(-alpha, ws.kk_f);
 
-  DenseMatrix delta_pos;
-  DenseMatrix delta_neg;
-  SplitPositiveNegative(delta, &delta_pos, &delta_neg);
+  SplitPositiveNegative(ws.delta, &ws.delta_pos, &ws.delta_neg);
 
-  DenseMatrix numer = xut_su_hu;
-  numer.AddInPlace(xpt_sp_hp);
-  numer.Axpy(alpha, sf_target);
-  numer.AddInPlace(MatMul(*sf, delta_neg));
+  ws.numer = ws.rows_b;
+  ws.numer.AddInPlace(ws.rows_c);
+  ws.numer.Axpy(alpha, sf_target);
+  MatMulInto(*sf, ws.delta_neg, &ws.rows_a);
+  ws.numer.AddInPlace(ws.rows_a);
 
-  DenseMatrix denom = MatMul(*sf, hut_sutsu_hu);
-  denom.AddInPlace(MatMul(*sf, hpt_sptsp_hp));
-  denom.Axpy(alpha, *sf);
-  denom.AddInPlace(MatMul(*sf, delta_pos));
-  if (sparsity > 0.0) {
-    for (size_t i = 0; i < denom.size(); ++i) denom.data()[i] += sparsity;
-  }
+  MatMulInto(*sf, ws.kk_d, &ws.denom);
+  MatMulInto(*sf, ws.kk_e, &ws.rows_a);
+  ws.denom.AddInPlace(ws.rows_a);
+  ws.denom.Axpy(alpha, *sf);
+  MatMulInto(*sf, ws.delta_pos, &ws.rows_a);
+  ws.denom.AddInPlace(ws.rows_a);
+  AddSparsity(&ws.denom, sparsity);
 
-  MultiplicativeUpdateInPlace(sf, numer, denom, eps);
+  MultiplicativeUpdateInPlace(sf, ws.numer, ws.denom, eps);
 }
 
 void UpdateSp(const SparseMatrix& xp, const SparseMatrix& xr,
               const DenseMatrix& sf, const DenseMatrix& hp,
               const DenseMatrix& su, DenseMatrix* sp, double eps,
               double sparsity, const std::vector<double>* prior_weights,
-              const DenseMatrix* prior_target) {
+              const DenseMatrix* prior_target, UpdateWorkspace* workspace) {
   TRICLUST_CHECK(sp != nullptr);
+  UpdateWorkspace local;
+  UpdateWorkspace& ws = workspace != nullptr ? *workspace : local;
   const size_t n = sp->rows();
   TRICLUST_CHECK_EQ(xp.rows(), n);
   TRICLUST_CHECK_EQ(xr.cols(), n);
@@ -75,46 +128,52 @@ void UpdateSp(const SparseMatrix& xp, const SparseMatrix& xr,
     TRICLUST_CHECK_EQ(prior_target->cols(), sp->cols());
   }
 
-  const DenseMatrix xp_sf_hpt = MatMulABt(SpMM(xp, sf), hp);  // Xp·Sf·Hpᵀ
-  const DenseMatrix xrt_su = SpTMM(xr, su);                   // Xrᵀ·Su
+  SpMMInto(xp, sf, &ws.rows_a);
+  MatMulABtInto(ws.rows_a, hp, &ws.rows_b);  // Xp·Sf·Hpᵀ
+  TransposedSpMM(workspace, Slot::kXr, xr, su, &ws.rows_c);  // Xrᵀ·Su
 
-  const DenseMatrix sftsf = MatMulAtB(sf, sf);
-  const DenseMatrix hp_sftsf_hpt = MatMul(hp, MatMulABt(sftsf, hp));
-  const DenseMatrix sutsu = MatMulAtB(su, su);
+  MatMulAtBInto(sf, sf, &ws.kk_a);  // SfᵀSf
+  MatMulABtInto(ws.kk_a, hp, &ws.kk_b);
+  MatMulInto(hp, ws.kk_b, &ws.kk_c);  // Hp·SfᵀSf·Hpᵀ
+  MatMulAtBInto(su, su, &ws.kk_d);    // SuᵀSu
 
   // Δ_Sp = SpᵀXpSfHpᵀ − HpSfᵀSfHpᵀ + SpᵀXrᵀSu − SuᵀSu.
-  DenseMatrix delta = MatMulAtB(*sp, xp_sf_hpt);
-  delta.SubInPlace(hp_sftsf_hpt);
-  delta.AddInPlace(MatMulAtB(*sp, xrt_su));
-  delta.SubInPlace(sutsu);
+  MatMulAtBInto(*sp, ws.rows_b, &ws.delta);
+  ws.delta.SubInPlace(ws.kk_c);
+  MatMulAtBInto(*sp, ws.rows_c, &ws.kk_b);
+  ws.delta.AddInPlace(ws.kk_b);
+  ws.delta.SubInPlace(ws.kk_d);
   if (prior_weights != nullptr) {
-    DenseMatrix weighted_diff = DiagScaleRows(*prior_weights, *sp);
-    weighted_diff.SubInPlace(DiagScaleRows(*prior_weights, *prior_target));
-    delta.SubInPlace(MatMulAtB(*sp, weighted_diff));
+    DiagScaleRowsInto(*prior_weights, *sp, &ws.rows_e);
+    DiagScaleRowsInto(*prior_weights, *prior_target, &ws.rows_a);
+    ws.rows_e.SubInPlace(ws.rows_a);
+    MatMulAtBInto(*sp, ws.rows_e, &ws.kk_b);
+    ws.delta.SubInPlace(ws.kk_b);
   }
 
-  DenseMatrix delta_pos;
-  DenseMatrix delta_neg;
-  SplitPositiveNegative(delta, &delta_pos, &delta_neg);
+  SplitPositiveNegative(ws.delta, &ws.delta_pos, &ws.delta_neg);
 
-  DenseMatrix numer = xp_sf_hpt;
-  numer.AddInPlace(xrt_su);
-  numer.AddInPlace(MatMul(*sp, delta_neg));
+  ws.numer = ws.rows_b;
+  ws.numer.AddInPlace(ws.rows_c);
+  MatMulInto(*sp, ws.delta_neg, &ws.rows_a);
+  ws.numer.AddInPlace(ws.rows_a);
   if (prior_weights != nullptr) {
-    numer.AddInPlace(DiagScaleRows(*prior_weights, *prior_target));
+    DiagScaleRowsInto(*prior_weights, *prior_target, &ws.rows_a);
+    ws.numer.AddInPlace(ws.rows_a);
   }
 
-  DenseMatrix denom = MatMul(*sp, hp_sftsf_hpt);
-  denom.AddInPlace(MatMul(*sp, sutsu));
-  denom.AddInPlace(MatMul(*sp, delta_pos));
+  MatMulInto(*sp, ws.kk_c, &ws.denom);
+  MatMulInto(*sp, ws.kk_d, &ws.rows_a);
+  ws.denom.AddInPlace(ws.rows_a);
+  MatMulInto(*sp, ws.delta_pos, &ws.rows_a);
+  ws.denom.AddInPlace(ws.rows_a);
   if (prior_weights != nullptr) {
-    denom.AddInPlace(DiagScaleRows(*prior_weights, *sp));
+    DiagScaleRowsInto(*prior_weights, *sp, &ws.rows_a);
+    ws.denom.AddInPlace(ws.rows_a);
   }
-  if (sparsity > 0.0) {
-    for (size_t i = 0; i < denom.size(); ++i) denom.data()[i] += sparsity;
-  }
+  AddSparsity(&ws.denom, sparsity);
 
-  MultiplicativeUpdateInPlace(sp, numer, denom, eps);
+  MultiplicativeUpdateInPlace(sp, ws.numer, ws.denom, eps);
 }
 
 void UpdateSu(const SparseMatrix& xu, const SparseMatrix& xr,
@@ -122,8 +181,10 @@ void UpdateSu(const SparseMatrix& xu, const SparseMatrix& xr,
               const DenseMatrix& hu, const DenseMatrix& sp, double beta,
               const std::vector<double>* temporal_weights,
               const DenseMatrix* temporal_target, DenseMatrix* su,
-              double eps, double sparsity) {
+              double eps, double sparsity, UpdateWorkspace* workspace) {
   TRICLUST_CHECK(su != nullptr);
+  UpdateWorkspace local;
+  UpdateWorkspace& ws = workspace != nullptr ? *workspace : local;
   const size_t m = su->rows();
   TRICLUST_CHECK_EQ(xu.rows(), m);
   TRICLUST_CHECK_EQ(xr.rows(), m);
@@ -135,73 +196,91 @@ void UpdateSu(const SparseMatrix& xu, const SparseMatrix& xr,
     TRICLUST_CHECK_EQ(temporal_target->cols(), su->cols());
   }
 
-  const DenseMatrix xu_sf_hut = MatMulABt(SpMM(xu, sf), hu);  // Xu·Sf·Huᵀ
-  const DenseMatrix xr_sp = SpMM(xr, sp);                     // Xr·Sp
-  const DenseMatrix gu_su = SpMM(gu.adjacency(), *su);        // Gu·Su
-  const DenseMatrix du_su = DiagScaleRows(gu.degrees(), *su);  // Du·Su
+  SpMMInto(xu, sf, &ws.rows_a);
+  MatMulABtInto(ws.rows_a, hu, &ws.rows_b);  // Xu·Sf·Huᵀ
+  SpMMInto(xr, sp, &ws.rows_c);              // Xr·Sp
+  SpMMInto(gu.adjacency(), *su, &ws.rows_d);  // Gu·Su
+  DiagScaleRowsInto(gu.degrees(), *su, &ws.rows_e);  // Du·Su
 
-  const DenseMatrix sftsf = MatMulAtB(sf, sf);
-  const DenseMatrix hu_sftsf_hut = MatMul(hu, MatMulABt(sftsf, hu));
-  const DenseMatrix sptsp = MatMulAtB(sp, sp);
+  MatMulAtBInto(sf, sf, &ws.kk_a);  // SfᵀSf
+  MatMulABtInto(ws.kk_a, hu, &ws.kk_b);
+  MatMulInto(hu, ws.kk_b, &ws.kk_c);  // Hu·SfᵀSf·Huᵀ
+  MatMulAtBInto(sp, sp, &ws.kk_d);    // SpᵀSp
 
   // Δ_Su = SuᵀXuSfHuᵀ + SuᵀXrSp − HuSfᵀSfHuᵀ − SpᵀSp − β·SuᵀLuSu
   //        [− γ·Suᵀ(Su − Suw) over evolving rows online].
-  DenseMatrix delta = MatMulAtB(*su, xu_sf_hut);
-  delta.AddInPlace(MatMulAtB(*su, xr_sp));
-  delta.SubInPlace(hu_sftsf_hut);
-  delta.SubInPlace(sptsp);
-  DenseMatrix sut_lu_su = MatMulAtB(*su, du_su);
-  sut_lu_su.SubInPlace(MatMulAtB(*su, gu_su));
-  delta.Axpy(-beta, sut_lu_su);
+  MatMulAtBInto(*su, ws.rows_b, &ws.delta);
+  MatMulAtBInto(*su, ws.rows_c, &ws.kk_b);
+  ws.delta.AddInPlace(ws.kk_b);
+  ws.delta.SubInPlace(ws.kk_c);
+  ws.delta.SubInPlace(ws.kk_d);
+  MatMulAtBInto(*su, ws.rows_e, &ws.kk_e);  // SuᵀDuSu
+  MatMulAtBInto(*su, ws.rows_d, &ws.kk_b);  // SuᵀGuSu
+  ws.kk_e.SubInPlace(ws.kk_b);
+  ws.delta.Axpy(-beta, ws.kk_e);
   if (temporal_weights != nullptr) {
-    DenseMatrix weighted_diff = DiagScaleRows(*temporal_weights, *su);
-    weighted_diff.SubInPlace(
-        DiagScaleRows(*temporal_weights, *temporal_target));
-    delta.SubInPlace(MatMulAtB(*su, weighted_diff));
+    DiagScaleRowsInto(*temporal_weights, *su, &ws.rows_f);
+    DiagScaleRowsInto(*temporal_weights, *temporal_target, &ws.rows_a);
+    ws.rows_f.SubInPlace(ws.rows_a);
+    MatMulAtBInto(*su, ws.rows_f, &ws.kk_b);
+    ws.delta.SubInPlace(ws.kk_b);
   }
 
-  DenseMatrix delta_pos;
-  DenseMatrix delta_neg;
-  SplitPositiveNegative(delta, &delta_pos, &delta_neg);
+  SplitPositiveNegative(ws.delta, &ws.delta_pos, &ws.delta_neg);
 
-  DenseMatrix numer = xu_sf_hut;
-  numer.AddInPlace(xr_sp);
-  numer.Axpy(beta, gu_su);
-  numer.AddInPlace(MatMul(*su, delta_neg));
+  ws.numer = ws.rows_b;
+  ws.numer.AddInPlace(ws.rows_c);
+  ws.numer.Axpy(beta, ws.rows_d);
+  MatMulInto(*su, ws.delta_neg, &ws.rows_a);
+  ws.numer.AddInPlace(ws.rows_a);
   if (temporal_weights != nullptr) {
-    numer.AddInPlace(DiagScaleRows(*temporal_weights, *temporal_target));
+    DiagScaleRowsInto(*temporal_weights, *temporal_target, &ws.rows_a);
+    ws.numer.AddInPlace(ws.rows_a);
   }
 
-  DenseMatrix denom = MatMul(*su, hu_sftsf_hut);
-  denom.AddInPlace(MatMul(*su, sptsp));
-  denom.Axpy(beta, du_su);
-  denom.AddInPlace(MatMul(*su, delta_pos));
+  MatMulInto(*su, ws.kk_c, &ws.denom);
+  MatMulInto(*su, ws.kk_d, &ws.rows_a);
+  ws.denom.AddInPlace(ws.rows_a);
+  ws.denom.Axpy(beta, ws.rows_e);
+  MatMulInto(*su, ws.delta_pos, &ws.rows_a);
+  ws.denom.AddInPlace(ws.rows_a);
   if (temporal_weights != nullptr) {
-    denom.AddInPlace(DiagScaleRows(*temporal_weights, *su));
+    DiagScaleRowsInto(*temporal_weights, *su, &ws.rows_a);
+    ws.denom.AddInPlace(ws.rows_a);
   }
-  if (sparsity > 0.0) {
-    for (size_t i = 0; i < denom.size(); ++i) denom.data()[i] += sparsity;
-  }
+  AddSparsity(&ws.denom, sparsity);
 
-  MultiplicativeUpdateInPlace(su, numer, denom, eps);
+  MultiplicativeUpdateInPlace(su, ws.numer, ws.denom, eps);
 }
 
 void UpdateHp(const SparseMatrix& xp, const DenseMatrix& sp,
-              const DenseMatrix& sf, DenseMatrix* hp, double eps) {
+              const DenseMatrix& sf, DenseMatrix* hp, double eps,
+              UpdateWorkspace* workspace) {
   TRICLUST_CHECK(hp != nullptr);
-  const DenseMatrix numer = MatMulAtB(sp, SpMM(xp, sf));  // SpᵀXpSf
-  const DenseMatrix denom = MatMul(
-      MatMulAtB(sp, sp), MatMul(*hp, MatMulAtB(sf, sf)));  // SpᵀSp·Hp·SfᵀSf
-  MultiplicativeUpdateInPlace(hp, numer, denom, eps);
+  UpdateWorkspace local;
+  UpdateWorkspace& ws = workspace != nullptr ? *workspace : local;
+  SpMMInto(xp, sf, &ws.rows_a);
+  MatMulAtBInto(sp, ws.rows_a, &ws.numer);  // SpᵀXpSf
+  MatMulAtBInto(sp, sp, &ws.kk_a);
+  MatMulAtBInto(sf, sf, &ws.kk_b);
+  MatMulInto(*hp, ws.kk_b, &ws.kk_c);
+  MatMulInto(ws.kk_a, ws.kk_c, &ws.denom);  // SpᵀSp·Hp·SfᵀSf
+  MultiplicativeUpdateInPlace(hp, ws.numer, ws.denom, eps);
 }
 
 void UpdateHu(const SparseMatrix& xu, const DenseMatrix& su,
-              const DenseMatrix& sf, DenseMatrix* hu, double eps) {
+              const DenseMatrix& sf, DenseMatrix* hu, double eps,
+              UpdateWorkspace* workspace) {
   TRICLUST_CHECK(hu != nullptr);
-  const DenseMatrix numer = MatMulAtB(su, SpMM(xu, sf));  // SuᵀXuSf
-  const DenseMatrix denom = MatMul(
-      MatMulAtB(su, su), MatMul(*hu, MatMulAtB(sf, sf)));  // SuᵀSu·Hu·SfᵀSf
-  MultiplicativeUpdateInPlace(hu, numer, denom, eps);
+  UpdateWorkspace local;
+  UpdateWorkspace& ws = workspace != nullptr ? *workspace : local;
+  SpMMInto(xu, sf, &ws.rows_a);
+  MatMulAtBInto(su, ws.rows_a, &ws.numer);  // SuᵀXuSf
+  MatMulAtBInto(su, su, &ws.kk_a);
+  MatMulAtBInto(sf, sf, &ws.kk_b);
+  MatMulInto(*hu, ws.kk_b, &ws.kk_c);
+  MatMulInto(ws.kk_a, ws.kk_c, &ws.denom);  // SuᵀSu·Hu·SfᵀSf
+  MultiplicativeUpdateInPlace(hu, ws.numer, ws.denom, eps);
 }
 
 }  // namespace update

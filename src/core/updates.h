@@ -26,13 +26,51 @@ namespace update {
 /// constant λs, which lands in the denominator of the multiplicative step
 /// and shrinks small entries toward zero.
 
+/// Reusable state for the update rules: cached CSR transposes of the data
+/// matrices plus pre-sized scratch matrices for every intermediate of the
+/// multiplicative algebra. Each rule naively materializes ~10 temporaries;
+/// one workspace owned for the duration of a fit (what OfflineTriClusterer
+/// and OnlineTriClusterer do) makes every iteration after the first
+/// allocation-free and replaces the serial scatter-transpose products
+/// (SpTMM) with the row-parallel SpMM over a transpose built once.
+///
+/// A workspace may be shared by all five rules of a fit (they run
+/// sequentially and the scratch is overwritten per call) but must not be
+/// used from two threads at once, and the sparse matrices handed to the
+/// rules must stay alive and unmodified while it caches their transposes.
+/// Passing no workspace (nullptr) makes a rule allocate locally — the
+/// historical behavior; results are bit-identical either way.
+class UpdateWorkspace {
+ public:
+  /// Identifies which data matrix a cached transpose belongs to.
+  enum class TransposeSlot { kXp = 0, kXu = 1, kXr = 2 };
+
+  /// The CSR transpose of `x`, built on first use and rebuilt only when a
+  /// different matrix (by address) is bound to the slot.
+  const SparseMatrix& Transposed(TransposeSlot slot, const SparseMatrix& x);
+
+  /// Scratch matrices, used freely by the update rules. rows_* hold
+  /// (n|m|l)×k intermediates, kk_* hold k×k ones.
+  DenseMatrix rows_a, rows_b, rows_c, rows_d, rows_e, rows_f;
+  DenseMatrix kk_a, kk_b, kk_c, kk_d, kk_e, kk_f;
+  DenseMatrix delta, delta_pos, delta_neg;
+  DenseMatrix numer, denom;
+
+ private:
+  struct CachedTranspose {
+    const SparseMatrix* source = nullptr;
+    SparseMatrix transposed;
+  };
+  CachedTranspose transpose_cache_[3];
+};
+
 /// Eq. (7)/(23): feature-cluster update. `sf_target` is Sf0 offline and
 /// Sfw(t) online; `alpha` weighs the term.
 void UpdateSf(const SparseMatrix& xp, const SparseMatrix& xu,
               const DenseMatrix& sp, const DenseMatrix& su,
               const DenseMatrix& hp, const DenseMatrix& hu, double alpha,
               const DenseMatrix& sf_target, DenseMatrix* sf, double eps,
-              double sparsity = 0.0);
+              double sparsity = 0.0, UpdateWorkspace* workspace = nullptr);
 
 /// Eq. (9)/(22): tweet-cluster update. `prior_weights`/`prior_target`
 /// optionally add a per-row quadratic pull δᵢ·||Spᵢ − targetᵢ||² — the
@@ -43,7 +81,8 @@ void UpdateSp(const SparseMatrix& xp, const SparseMatrix& xr,
               const DenseMatrix& su, DenseMatrix* sp, double eps,
               double sparsity = 0.0,
               const std::vector<double>* prior_weights = nullptr,
-              const DenseMatrix* prior_target = nullptr);
+              const DenseMatrix* prior_target = nullptr,
+              UpdateWorkspace* workspace = nullptr);
 
 /// Eq. (11) offline (temporal_weights == nullptr) and Eq. (24)/(26) online:
 /// user-cluster update with graph regularization β and optional per-row
@@ -55,15 +94,18 @@ void UpdateSu(const SparseMatrix& xu, const SparseMatrix& xr,
               const DenseMatrix& hu, const DenseMatrix& sp, double beta,
               const std::vector<double>* temporal_weights,
               const DenseMatrix* temporal_target, DenseMatrix* su,
-              double eps, double sparsity = 0.0);
+              double eps, double sparsity = 0.0,
+              UpdateWorkspace* workspace = nullptr);
 
 /// Eq. (12)/(21): tweet-association update.
 void UpdateHp(const SparseMatrix& xp, const DenseMatrix& sp,
-              const DenseMatrix& sf, DenseMatrix* hp, double eps);
+              const DenseMatrix& sf, DenseMatrix* hp, double eps,
+              UpdateWorkspace* workspace = nullptr);
 
 /// Eq. (13)/(20): user-association update.
 void UpdateHu(const SparseMatrix& xu, const DenseMatrix& su,
-              const DenseMatrix& sf, DenseMatrix* hu, double eps);
+              const DenseMatrix& sf, DenseMatrix* hu, double eps,
+              UpdateWorkspace* workspace = nullptr);
 
 }  // namespace update
 }  // namespace triclust

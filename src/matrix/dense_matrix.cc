@@ -35,6 +35,12 @@ void DenseMatrix::Fill(double value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
+void DenseMatrix::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 void DenseMatrix::AddInPlace(const DenseMatrix& other) {
   TRICLUST_CHECK_EQ(rows_, other.rows_);
   TRICLUST_CHECK_EQ(cols_, other.cols_);

@@ -67,6 +67,12 @@ class DenseMatrix {
   /// Sets every entry to `value`.
   void Fill(double value);
 
+  /// Reshapes to rows×cols, reusing the existing allocation when capacity
+  /// allows (entries are unspecified afterwards). This is the workhorse of
+  /// the solver's scratch-buffer reuse: after the first iteration sizes a
+  /// workspace matrix, later Resize calls to the same shape are free.
+  void Resize(size_t rows, size_t cols);
+
   /// Element-wise in-place operations.
   void AddInPlace(const DenseMatrix& other);
   void SubInPlace(const DenseMatrix& other);

@@ -1,83 +1,174 @@
 #include "src/matrix/ops.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "src/util/parallel.h"
 
 namespace triclust {
+namespace {
 
-DenseMatrix MatMul(const DenseMatrix& a, const DenseMatrix& b) {
+/// Minimum rows before a row-partitioned product is worth a pool dispatch;
+/// below this (notably the k×k association algebra, k = 2–3) the
+/// cross-thread synchronization dwarfs the arithmetic. Results are
+/// bit-identical either way, so this is purely a scheduling threshold.
+constexpr size_t kMinRowsToParallelize = 32;
+
+}  // namespace
+
+void MatMulInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c) {
+  TRICLUST_CHECK(c != nullptr);
   TRICLUST_CHECK_EQ(a.cols(), b.rows());
-  DenseMatrix c(a.rows(), b.cols(), 0.0);
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.Row(i);
-    double* crow = c.Row(i);
-    for (size_t p = 0; p < a.cols(); ++p) {
-      const double av = arow[p];
-      if (av == 0.0) continue;
-      const double* brow = b.Row(p);
-      for (size_t j = 0; j < b.cols(); ++j) {
-        crow[j] += av * brow[j];
+  c->Resize(a.rows(), b.cols());
+  ParallelFor(0, a.rows(), kMinRowsToParallelize,
+              [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      const double* arow = a.Row(i);
+      double* crow = c->Row(i);
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] = 0.0;
+      for (size_t p = 0; p < a.cols(); ++p) {
+        const double av = arow[p];
+        if (av == 0.0) continue;
+        const double* brow = b.Row(p);
+        for (size_t j = 0; j < b.cols(); ++j) {
+          crow[j] += av * brow[j];
+        }
       }
     }
-  }
+  });
+}
+
+DenseMatrix MatMul(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix c;
+  MatMulInto(a, b, &c);
   return c;
+}
+
+void MatMulAtBInto(const DenseMatrix& a, const DenseMatrix& b,
+                   DenseMatrix* c) {
+  TRICLUST_CHECK(c != nullptr);
+  TRICLUST_CHECK_EQ(a.rows(), b.rows());
+  c->Resize(a.cols(), b.cols());
+  const size_t out_size = c->size();
+  const size_t rows = a.rows();
+
+  // Accumulates rows [p_begin, p_end) of AᵀB into `out`.
+  auto accumulate = [&](size_t p_begin, size_t p_end, double* out) {
+    for (size_t p = p_begin; p < p_end; ++p) {
+      const double* arow = a.Row(p);
+      const double* brow = b.Row(p);
+      for (size_t i = 0; i < a.cols(); ++i) {
+        const double av = arow[i];
+        if (av == 0.0) continue;
+        double* orow = out + i * b.cols();
+        for (size_t j = 0; j < b.cols(); ++j) {
+          orow[j] += av * brow[j];
+        }
+      }
+    }
+  };
+
+  const int threads = EffectiveNumThreads();
+  if (threads <= 1 || rows <= kReduceRowGrain) {
+    c->Fill(0.0);
+    accumulate(0, rows, c->data());
+    return;
+  }
+  // Output is a small k×k accumulator shared by every input row, so this is
+  // a chunked reduction: fixed-grain row chunks (independent of the thread
+  // count) accumulate into private buffers, combined in chunk order. The
+  // partials buffer is thread-local so steady-state solver iterations stay
+  // allocation-free (kernels are only entered from the fit's driving
+  // thread; pool workers never re-enter a kernel).
+  const size_t num_chunks = (rows + kReduceRowGrain - 1) / kReduceRowGrain;
+  static thread_local std::vector<double> partials_storage;
+  partials_storage.assign(num_chunks * out_size, 0.0);
+  // Captured as a plain pointer: a lambda body naming a thread_local would
+  // resolve it per-executing-thread, handing each pool worker its own
+  // (empty) vector instead of the driving thread's buffer.
+  double* const partials = partials_storage.data();
+  ParallelFor(0, num_chunks, 1, [&](size_t chunk_begin, size_t chunk_end) {
+    for (size_t chunk = chunk_begin; chunk < chunk_end; ++chunk) {
+      const size_t lo = chunk * kReduceRowGrain;
+      const size_t hi = std::min(rows, lo + kReduceRowGrain);
+      accumulate(lo, hi, partials + chunk * out_size);
+    }
+  });
+  c->Fill(0.0);
+  double* out = c->data();
+  for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    const double* partial = partials + chunk * out_size;
+    for (size_t i = 0; i < out_size; ++i) out[i] += partial[i];
+  }
 }
 
 DenseMatrix MatMulAtB(const DenseMatrix& a, const DenseMatrix& b) {
-  TRICLUST_CHECK_EQ(a.rows(), b.rows());
-  DenseMatrix c(a.cols(), b.cols(), 0.0);
-  for (size_t p = 0; p < a.rows(); ++p) {
-    const double* arow = a.Row(p);
-    const double* brow = b.Row(p);
-    for (size_t i = 0; i < a.cols(); ++i) {
-      const double av = arow[i];
-      if (av == 0.0) continue;
-      double* crow = c.Row(i);
-      for (size_t j = 0; j < b.cols(); ++j) {
-        crow[j] += av * brow[j];
+  DenseMatrix c;
+  MatMulAtBInto(a, b, &c);
+  return c;
+}
+
+void MatMulABtInto(const DenseMatrix& a, const DenseMatrix& b,
+                   DenseMatrix* c) {
+  TRICLUST_CHECK(c != nullptr);
+  TRICLUST_CHECK_EQ(a.cols(), b.cols());
+  c->Resize(a.rows(), b.rows());
+  ParallelFor(0, a.rows(), kMinRowsToParallelize,
+              [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      const double* arow = a.Row(i);
+      double* crow = c->Row(i);
+      for (size_t j = 0; j < b.rows(); ++j) {
+        const double* brow = b.Row(j);
+        double dot = 0.0;
+        for (size_t p = 0; p < a.cols(); ++p) dot += arow[p] * brow[p];
+        crow[j] = dot;
       }
     }
-  }
-  return c;
+  });
 }
 
 DenseMatrix MatMulABt(const DenseMatrix& a, const DenseMatrix& b) {
-  TRICLUST_CHECK_EQ(a.cols(), b.cols());
-  DenseMatrix c(a.rows(), b.rows(), 0.0);
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.Row(i);
-    double* crow = c.Row(i);
-    for (size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.Row(j);
-      double dot = 0.0;
-      for (size_t p = 0; p < a.cols(); ++p) dot += arow[p] * brow[p];
-      crow[j] = dot;
-    }
-  }
+  DenseMatrix c;
+  MatMulABtInto(a, b, &c);
   return c;
 }
 
-DenseMatrix SpMM(const SparseMatrix& x, const DenseMatrix& d) {
+void SpMMInto(const SparseMatrix& x, const DenseMatrix& d, DenseMatrix* c) {
+  TRICLUST_CHECK(c != nullptr);
   TRICLUST_CHECK_EQ(x.cols(), d.rows());
-  DenseMatrix c(x.rows(), d.cols(), 0.0);
+  c->Resize(x.rows(), d.cols());
   const auto& row_ptr = x.row_ptr();
   const auto& col_idx = x.col_idx();
   const auto& values = x.values();
-  for (size_t i = 0; i < x.rows(); ++i) {
-    double* crow = c.Row(i);
-    for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
-      const double v = values[p];
-      const double* drow = d.Row(col_idx[p]);
-      for (size_t j = 0; j < d.cols(); ++j) {
-        crow[j] += v * drow[j];
+  ParallelFor(0, x.rows(), kMinRowsToParallelize,
+              [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      double* crow = c->Row(i);
+      for (size_t j = 0; j < d.cols(); ++j) crow[j] = 0.0;
+      for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+        const double v = values[p];
+        const double* drow = d.Row(col_idx[p]);
+        for (size_t j = 0; j < d.cols(); ++j) {
+          crow[j] += v * drow[j];
+        }
       }
     }
-  }
+  });
+}
+
+DenseMatrix SpMM(const SparseMatrix& x, const DenseMatrix& d) {
+  DenseMatrix c;
+  SpMMInto(x, d, &c);
   return c;
 }
 
-DenseMatrix SpTMM(const SparseMatrix& x, const DenseMatrix& d) {
+void SpTMMInto(const SparseMatrix& x, const DenseMatrix& d, DenseMatrix* c) {
+  TRICLUST_CHECK(c != nullptr);
   TRICLUST_CHECK_EQ(x.rows(), d.rows());
-  DenseMatrix c(x.cols(), d.cols(), 0.0);
+  c->Resize(x.cols(), d.cols());
+  c->Fill(0.0);
   const auto& row_ptr = x.row_ptr();
   const auto& col_idx = x.col_idx();
   const auto& values = x.values();
@@ -85,43 +176,61 @@ DenseMatrix SpTMM(const SparseMatrix& x, const DenseMatrix& d) {
     const double* drow = d.Row(i);
     for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
       const double v = values[p];
-      double* crow = c.Row(col_idx[p]);
+      double* crow = c->Row(col_idx[p]);
       for (size_t j = 0; j < d.cols(); ++j) {
         crow[j] += v * drow[j];
       }
     }
   }
+}
+
+DenseMatrix SpTMM(const SparseMatrix& x, const DenseMatrix& d) {
+  DenseMatrix c;
+  SpTMMInto(x, d, &c);
   return c;
 }
 
 double FrobeniusNormSquared(const DenseMatrix& d) {
-  double total = 0.0;
   const double* p = d.data();
-  for (size_t i = 0; i < d.size(); ++i) total += p[i] * p[i];
-  return total;
+  return ParallelReduce(0, d.size(), kReduceFlatGrain,
+                        [p](size_t begin, size_t end) {
+                          double total = 0.0;
+                          for (size_t i = begin; i < end; ++i) {
+                            total += p[i] * p[i];
+                          }
+                          return total;
+                        });
 }
 
 double FrobeniusDistanceSquared(const DenseMatrix& a, const DenseMatrix& b) {
   TRICLUST_CHECK_EQ(a.rows(), b.rows());
   TRICLUST_CHECK_EQ(a.cols(), b.cols());
-  double total = 0.0;
   const double* pa = a.data();
   const double* pb = b.data();
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double diff = pa[i] - pb[i];
-    total += diff * diff;
-  }
-  return total;
+  return ParallelReduce(0, a.size(), kReduceFlatGrain,
+                        [pa, pb](size_t begin, size_t end) {
+                          double total = 0.0;
+                          for (size_t i = begin; i < end; ++i) {
+                            const double diff = pa[i] - pb[i];
+                            total += diff * diff;
+                          }
+                          return total;
+                        });
 }
 
 double TraceAtB(const DenseMatrix& a, const DenseMatrix& b) {
   TRICLUST_CHECK_EQ(a.rows(), b.rows());
   TRICLUST_CHECK_EQ(a.cols(), b.cols());
-  double total = 0.0;
   const double* pa = a.data();
   const double* pb = b.data();
-  for (size_t i = 0; i < a.size(); ++i) total += pa[i] * pb[i];
-  return total;
+  return ParallelReduce(0, a.size(), kReduceFlatGrain,
+                        [pa, pb](size_t begin, size_t end) {
+                          double total = 0.0;
+                          for (size_t i = begin; i < end; ++i) {
+                            total += pa[i] * pb[i];
+                          }
+                          return total;
+                        });
 }
 
 double FactorizationLossSquared(const SparseMatrix& x, const DenseMatrix& u,
@@ -131,28 +240,38 @@ double FactorizationLossSquared(const SparseMatrix& x, const DenseMatrix& u,
   TRICLUST_CHECK_EQ(u.cols(), v.cols());
   const size_t k = u.cols();
 
-  double cross = 0.0;  // Σ Xᵢⱼ (Uᵢ·Vⱼ)
   const auto& row_ptr = x.row_ptr();
   const auto& col_idx = x.col_idx();
   const auto& values = x.values();
-  for (size_t i = 0; i < x.rows(); ++i) {
-    const double* urow = u.Row(i);
-    for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
-      const double* vrow = v.Row(col_idx[p]);
-      double dot = 0.0;
-      for (size_t c = 0; c < k; ++c) dot += urow[c] * vrow[c];
-      cross += values[p] * dot;
-    }
-  }
+  // cross = Σ Xᵢⱼ (Uᵢ·Vⱼ), reduced over row ranges of X.
+  const double cross = ParallelReduce(
+      0, x.rows(), kReduceRowGrain, [&](size_t row_begin, size_t row_end) {
+        double total = 0.0;
+        for (size_t i = row_begin; i < row_end; ++i) {
+          const double* urow = u.Row(i);
+          for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+            const double* vrow = v.Row(col_idx[p]);
+            double dot = 0.0;
+            for (size_t c = 0; c < k; ++c) dot += urow[c] * vrow[c];
+            total += values[p] * dot;
+          }
+        }
+        return total;
+      });
 
   const DenseMatrix utu = MatMulAtB(u, u);
   const DenseMatrix vtv = MatMulAtB(v, v);
-  // tr((UᵀU)(VᵀV)) — both are k×k and symmetric.
+  // tr((UᵀU)(VᵀV)) — both are k×k and symmetric, so the trace is the
+  // element-wise product; fold the mirrored off-diagonal pairs to walk only
+  // the upper triangle.
   double quad = 0.0;
   for (size_t i = 0; i < k; ++i) {
-    for (size_t j = 0; j < k; ++j) {
-      quad += utu(i, j) * vtv(j, i);
-    }
+    const double* urow = utu.Row(i);
+    const double* vrow = vtv.Row(i);
+    quad += urow[i] * vrow[i];
+    double off = 0.0;
+    for (size_t j = i + 1; j < k; ++j) off += urow[j] * vrow[j];
+    quad += 2.0 * off;
   }
   return x.FrobeniusNormSquared() - 2.0 * cross + quad;
 }
@@ -171,27 +290,35 @@ double GraphLaplacianQuadraticForm(const SparseMatrix& g,
   TRICLUST_CHECK_EQ(degrees.size(), s.rows());
   const size_t k = s.cols();
 
-  double diag = 0.0;
-  for (size_t i = 0; i < s.rows(); ++i) {
-    const double* row = s.Row(i);
-    double norm_sq = 0.0;
-    for (size_t c = 0; c < k; ++c) norm_sq += row[c] * row[c];
-    diag += degrees[i] * norm_sq;
-  }
+  const double diag = ParallelReduce(
+      0, s.rows(), kReduceRowGrain, [&](size_t row_begin, size_t row_end) {
+        double total = 0.0;
+        for (size_t i = row_begin; i < row_end; ++i) {
+          const double* row = s.Row(i);
+          double norm_sq = 0.0;
+          for (size_t c = 0; c < k; ++c) norm_sq += row[c] * row[c];
+          total += degrees[i] * norm_sq;
+        }
+        return total;
+      });
 
-  double cross = 0.0;
   const auto& row_ptr = g.row_ptr();
   const auto& col_idx = g.col_idx();
   const auto& values = g.values();
-  for (size_t i = 0; i < g.rows(); ++i) {
-    const double* si = s.Row(i);
-    for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
-      const double* sj = s.Row(col_idx[p]);
-      double dot = 0.0;
-      for (size_t c = 0; c < k; ++c) dot += si[c] * sj[c];
-      cross += values[p] * dot;
-    }
-  }
+  const double cross = ParallelReduce(
+      0, g.rows(), kReduceRowGrain, [&](size_t row_begin, size_t row_end) {
+        double total = 0.0;
+        for (size_t i = row_begin; i < row_end; ++i) {
+          const double* si = s.Row(i);
+          for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+            const double* sj = s.Row(col_idx[p]);
+            double dot = 0.0;
+            for (size_t c = 0; c < k; ++c) dot += si[c] * sj[c];
+            total += values[p] * dot;
+          }
+        }
+        return total;
+      });
   return diag - cross;
 }
 
@@ -205,40 +332,59 @@ void MultiplicativeUpdateInPlace(DenseMatrix* m, const DenseMatrix& numer,
   double* pm = m->data();
   const double* pn = numer.data();
   const double* pd = denom.data();
-  for (size_t i = 0; i < m->size(); ++i) {
-    // Negative intermediate values can only arise from floating-point noise
-    // (all rule terms are constructed non-negative); clamp before the ratio.
-    const double n = std::max(pn[i], 0.0) + eps;
-    const double d = std::max(pd[i], 0.0) + eps;
-    pm[i] *= std::sqrt(n / d);
-  }
+  ParallelFor(0, m->size(), kReduceFlatGrain,
+              [pm, pn, pd, eps](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  // Negative intermediate values can only arise from
+                  // floating-point noise (all rule terms are constructed
+                  // non-negative); clamp before the ratio.
+                  const double n = std::max(pn[i], 0.0) + eps;
+                  const double d = std::max(pd[i], 0.0) + eps;
+                  pm[i] *= std::sqrt(n / d);
+                }
+              });
 }
 
 void SplitPositiveNegative(const DenseMatrix& m, DenseMatrix* positive,
                            DenseMatrix* negative) {
   TRICLUST_CHECK(positive != nullptr);
   TRICLUST_CHECK(negative != nullptr);
-  *positive = DenseMatrix(m.rows(), m.cols());
-  *negative = DenseMatrix(m.rows(), m.cols());
+  positive->Resize(m.rows(), m.cols());
+  negative->Resize(m.rows(), m.cols());
   const double* pm = m.data();
   double* pp = positive->data();
   double* pn = negative->data();
-  for (size_t i = 0; i < m.size(); ++i) {
-    const double abs = std::fabs(pm[i]);
-    pp[i] = 0.5 * (abs + pm[i]);
-    pn[i] = 0.5 * (abs - pm[i]);
-  }
+  ParallelFor(0, m.size(), kReduceFlatGrain,
+              [pm, pp, pn](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  const double abs = std::fabs(pm[i]);
+                  pp[i] = 0.5 * (abs + pm[i]);
+                  pn[i] = 0.5 * (abs - pm[i]);
+                }
+              });
+}
+
+void DiagScaleRowsInto(const std::vector<double>& diag, const DenseMatrix& d,
+                       DenseMatrix* out) {
+  TRICLUST_CHECK(out != nullptr);
+  TRICLUST_CHECK_EQ(diag.size(), d.rows());
+  out->Resize(d.rows(), d.cols());
+  ParallelFor(0, d.rows(), kReduceRowGrain,
+              [&](size_t row_begin, size_t row_end) {
+                for (size_t i = row_begin; i < row_end; ++i) {
+                  const double* src = d.Row(i);
+                  double* dst = out->Row(i);
+                  for (size_t j = 0; j < d.cols(); ++j) {
+                    dst[j] = diag[i] * src[j];
+                  }
+                }
+              });
 }
 
 DenseMatrix DiagScaleRows(const std::vector<double>& diag,
                           const DenseMatrix& d) {
-  TRICLUST_CHECK_EQ(diag.size(), d.rows());
-  DenseMatrix out(d.rows(), d.cols());
-  for (size_t i = 0; i < d.rows(); ++i) {
-    const double* src = d.Row(i);
-    double* dst = out.Row(i);
-    for (size_t j = 0; j < d.cols(); ++j) dst[j] = diag[i] * src[j];
-  }
+  DenseMatrix out;
+  DiagScaleRowsInto(diag, d, &out);
   return out;
 }
 

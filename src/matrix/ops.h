@@ -8,26 +8,50 @@
 
 namespace triclust {
 
+/// All kernels below honor the process-wide thread budget of
+/// src/util/parallel.h: the row-partitioned products split their output
+/// rows across the pool (bit-identical to serial for every thread count),
+/// the scalar reductions use fixed-grain chunked partial sums (bit-identical
+/// across thread counts ≥ 2, within rounding of serial otherwise). With a
+/// budget of 1 every kernel runs the exact historical serial loop.
+///
+/// Each product has two forms: a value-returning convenience wrapper and an
+/// `...Into` variant that writes into a caller-owned matrix, resizing it
+/// without reallocation when its capacity suffices. The solver's update
+/// pipeline calls the Into forms on workspace scratch so steady-state
+/// iterations are allocation-free.
+
 /// Dense kernels ------------------------------------------------------------
 
 /// C = A·B. A is m×p, B is p×n.
 DenseMatrix MatMul(const DenseMatrix& a, const DenseMatrix& b);
+void MatMulInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c);
 
 /// C = Aᵀ·B. A is p×m, B is p×n (shared leading dimension p). This is the
 /// k×k workhorse (SᵀS, SᵀX·, ...) so it streams both operands row-wise.
 DenseMatrix MatMulAtB(const DenseMatrix& a, const DenseMatrix& b);
+void MatMulAtBInto(const DenseMatrix& a, const DenseMatrix& b,
+                   DenseMatrix* c);
 
 /// C = A·Bᵀ. A is m×p, B is n×p.
 DenseMatrix MatMulABt(const DenseMatrix& a, const DenseMatrix& b);
+void MatMulABtInto(const DenseMatrix& a, const DenseMatrix& b,
+                   DenseMatrix* c);
 
 /// Sparse–dense kernels ------------------------------------------------------
 
-/// C = X·D. X is CSR m×n, D is n×k. O(nnz·k).
+/// C = X·D. X is CSR m×n, D is n×k. O(nnz·k). Row-partitioned.
 DenseMatrix SpMM(const SparseMatrix& x, const DenseMatrix& d);
+void SpMMInto(const SparseMatrix& x, const DenseMatrix& d, DenseMatrix* c);
 
 /// C = Xᵀ·D. X is CSR m×n, D is m×k; computed by scattering rows of X so no
-/// explicit transpose is materialized. O(nnz·k).
+/// explicit transpose is materialized. O(nnz·k). The scatter writes collide
+/// across rows, so this kernel is always serial — hot paths should instead
+/// cache X's transpose once and call the parallel SpMM on it (what
+/// update::UpdateWorkspace does); the summation order per output entry is
+/// identical either way, so the two formulations agree bitwise.
 DenseMatrix SpTMM(const SparseMatrix& x, const DenseMatrix& d);
+void SpTMMInto(const SparseMatrix& x, const DenseMatrix& d, DenseMatrix* c);
 
 /// Norms and traces -----------------------------------------------------------
 
@@ -74,6 +98,8 @@ void SplitPositiveNegative(const DenseMatrix& m, DenseMatrix* positive,
 /// out(i, :) = diag[i] * d(i, :). Used for the β·Du·Su Laplacian terms.
 DenseMatrix DiagScaleRows(const std::vector<double>& diag,
                           const DenseMatrix& d);
+void DiagScaleRowsInto(const std::vector<double>& diag, const DenseMatrix& d,
+                       DenseMatrix* out);
 
 /// True when every entry is ≥ 0 (invariant of all factor matrices).
 bool IsNonNegative(const DenseMatrix& d);

@@ -1,0 +1,200 @@
+#include "src/util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace triclust {
+namespace {
+
+std::atomic<int> g_num_threads{1};
+
+/// True while the current thread is executing a chunk of a parallel region;
+/// nested ParallelFor/ParallelReduce calls then degrade to inline serial
+/// execution instead of deadlocking on the shared pool.
+thread_local bool t_in_parallel_region = false;
+
+/// Persistent work-sharing pool. One job at a time; the submitting thread
+/// participates in the job, so a pool serving n-way parallelism keeps n−1
+/// workers. Workers are added lazily (never removed) and the singleton is
+/// intentionally leaked to avoid static-destruction races with user code
+/// running at exit.
+class ThreadPool {
+ public:
+  static ThreadPool& Instance() {
+    static ThreadPool* pool = new ThreadPool;
+    return *pool;
+  }
+
+  /// Executes chunk_fn(i) for every i in [0, num_chunks) using at most
+  /// `threads` concurrent threads (including the caller). Returns after all
+  /// chunks completed.
+  void Run(int threads, size_t num_chunks,
+           const std::function<void(size_t)>& chunk_fn) {
+    if (threads <= 1 || num_chunks <= 1) {
+      for (size_t i = 0; i < num_chunks; ++i) chunk_fn(i);
+      return;
+    }
+    // One job at a time; concurrent top-level submitters queue here.
+    std::lock_guard<std::mutex> job_lock(job_mutex_);
+    const int helpers =
+        static_cast<int>(std::min<size_t>(threads - 1, num_chunks - 1));
+    EnsureWorkers(helpers);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      chunk_fn_ = &chunk_fn;
+      num_chunks_ = num_chunks;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      active_helpers_ = helpers;
+      pending_helpers_ = helpers;
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+    try {
+      RunChunks();
+    } catch (...) {
+      // The job state (and the std::function behind chunk_fn_) lives in the
+      // caller's frame: helpers must drain before the exception unwinds it.
+      // A body throwing on a *worker* thread still terminates the process
+      // (std::thread semantics) — see the contract in parallel.h.
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [&] { return pending_helpers_ == 0; });
+      chunk_fn_ = nullptr;
+      throw;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_helpers_ == 0; });
+    chunk_fn_ = nullptr;
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void EnsureWorkers(int n) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (static_cast<int>(workers_.size()) < n) {
+      const int id = static_cast<int>(workers_.size());
+      workers_.emplace_back([this, id] { WorkerMain(id); });
+    }
+  }
+
+  void RunChunks() {
+    // RAII so a throwing body cannot leave the thread marked in-region
+    // (which would silently serialize all its future parallel calls).
+    struct RegionGuard {
+      RegionGuard() { t_in_parallel_region = true; }
+      ~RegionGuard() { t_in_parallel_region = false; }
+    } guard;
+    for (;;) {
+      const size_t i = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_chunks_) break;
+      (*chunk_fn_)(i);
+    }
+  }
+
+  void WorkerMain(int id) {
+    uint64_t seen_generation = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_cv_.wait(lock,
+                      [&] { return generation_ != seen_generation; });
+        seen_generation = generation_;
+        if (id >= active_helpers_) continue;  // not part of this job
+      }
+      RunChunks();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_helpers_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex job_mutex_;
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  const std::function<void(size_t)>* chunk_fn_ = nullptr;
+  size_t num_chunks_ = 0;
+  std::atomic<size_t> next_chunk_{0};
+  int active_helpers_ = 0;
+  int pending_helpers_ = 0;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace
+
+void SetNumThreads(int n) {
+  TRICLUST_CHECK_GE(n, 0);
+  g_num_threads.store(n, std::memory_order_relaxed);
+}
+
+int GetNumThreads() { return g_num_threads.load(std::memory_order_relaxed); }
+
+int EffectiveNumThreads() {
+  const int n = GetNumThreads();
+  if (n > 0) return n;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ScopedNumThreads::ScopedNumThreads(int n) : previous_(GetNumThreads()) {
+  SetNumThreads(n);
+}
+
+ScopedNumThreads::~ScopedNumThreads() { SetNumThreads(previous_); }
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const int threads = EffectiveNumThreads();
+  if (threads <= 1 || t_in_parallel_region || n <= grain) {
+    body(begin, end);
+    return;
+  }
+  // Oversplit (~4 chunks per thread) so dynamic claiming balances uneven
+  // rows, e.g. skewed sparse row lengths.
+  const size_t target_chunks = static_cast<size_t>(threads) * 4;
+  const size_t chunk =
+      std::max(grain, std::max<size_t>(1, (n + target_chunks - 1) /
+                                              target_chunks));
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+  ThreadPool::Instance().Run(threads, num_chunks, [&](size_t i) {
+    const size_t lo = begin + i * chunk;
+    const size_t hi = std::min(end, lo + chunk);
+    body(lo, hi);
+  });
+}
+
+double ParallelReduce(size_t begin, size_t end, size_t grain,
+                      const std::function<double(size_t, size_t)>& chunk_sum) {
+  if (begin >= end) return 0.0;
+  TRICLUST_CHECK_GT(grain, 0u);
+  const size_t n = end - begin;
+  const int threads = EffectiveNumThreads();
+  if (threads <= 1 || t_in_parallel_region || n <= grain) {
+    return chunk_sum(begin, end);
+  }
+  // Fixed-size chunks: the partition depends only on (n, grain), never on
+  // the thread count, and partials are combined in chunk order — see the
+  // determinism contract in parallel.h.
+  const size_t num_chunks = (n + grain - 1) / grain;
+  std::vector<double> partials(num_chunks, 0.0);
+  ThreadPool::Instance().Run(threads, num_chunks, [&](size_t i) {
+    const size_t lo = begin + i * grain;
+    const size_t hi = std::min(end, lo + grain);
+    partials[i] = chunk_sum(lo, hi);
+  });
+  double total = 0.0;
+  for (const double p : partials) total += p;
+  return total;
+}
+
+}  // namespace triclust

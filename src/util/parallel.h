@@ -1,0 +1,89 @@
+#ifndef TRICLUST_SRC_UTIL_PARALLEL_H_
+#define TRICLUST_SRC_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace triclust {
+
+/// Process-wide compute parallelism for the solver kernels.
+///
+/// The hot kernels of Algorithm 1/2 (SpMM, the dense k×k algebra, the loss
+/// reductions) are row-partitionable, so they all funnel through the two
+/// primitives below, backed by one persistent process-wide thread pool.
+/// Workers are spawned lazily on the first parallel call and reused for the
+/// lifetime of the process; a solver iteration therefore never pays thread
+/// creation cost.
+///
+/// Determinism contract:
+///  - ParallelFor: each index is processed by exactly one thread with the
+///    same per-index code as the serial loop, so kernels that write disjoint
+///    output rows are *bit-identical* for every thread count.
+///  - ParallelReduce: the range is cut into fixed-size chunks (independent
+///    of thread count), chunk partial sums are combined in chunk order.
+///    Results are bit-identical across any thread count ≥ 2; the 1-thread
+///    path sums the whole range in one chunk and is bit-identical to the
+///    plain serial loop.
+///
+/// Thread count resolution: 0 = std::thread::hardware_concurrency(),
+/// 1 = strict serial (no pool involvement), n = at most n concurrent
+/// threads (the calling thread participates as one of them).
+///
+/// The budget is PROCESS-GLOBAL: two fits running concurrently on
+/// different threads share (and stomp) one setting, so concurrent fits in
+/// one process must use the same num_threads — or be serialized — to keep
+/// the per-fit determinism guarantees. Parallelism *within* a fit is the
+/// supported path to multicore; per-fit isolation of the budget would need
+/// the thread count plumbed through every kernel call.
+
+/// Sets the process-wide thread count used by subsequent kernel calls.
+void SetNumThreads(int n);
+
+/// The configured thread count (0 = auto).
+int GetNumThreads();
+
+/// The resolved concurrent-thread budget, always ≥ 1.
+int EffectiveNumThreads();
+
+/// RAII: sets the process-wide thread count for a scope (one solver fit),
+/// restoring the previous value on destruction. This is how
+/// TriClusterConfig::num_threads flows from a clusterer into the kernels.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int n);
+  ~ScopedNumThreads();
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int previous_;
+};
+
+/// Runs body(chunk_begin, chunk_end) over disjoint sub-ranges covering
+/// [begin, end). `grain` is the minimum chunk size (load-balancing hint;
+/// does not affect results for disjoint-output bodies). With an effective
+/// thread count of 1 — or when called from inside another parallel region —
+/// runs body(begin, end) inline.
+///
+/// Bodies should not throw: an exception on the calling thread is
+/// propagated only after all pool workers drained the job, and an
+/// exception on a worker thread terminates the process (std::thread
+/// semantics). The solver kernels satisfy this — they only fail via
+/// TRICLUST_CHECK, which aborts.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body);
+
+/// Sum of chunk_sum(chunk_begin, chunk_end) over fixed-size chunks of
+/// [begin, end), combined in chunk order (see determinism contract above).
+/// `grain` is the fixed chunk size and must not depend on the thread count.
+double ParallelReduce(size_t begin, size_t end, size_t grain,
+                      const std::function<double(size_t, size_t)>& chunk_sum);
+
+/// Default fixed chunk sizes for the reductions (rows of a factor matrix /
+/// flat element ranges). Exposed so tests can mirror the chunking.
+inline constexpr size_t kReduceRowGrain = 1024;
+inline constexpr size_t kReduceFlatGrain = 8192;
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_UTIL_PARALLEL_H_
