@@ -2,6 +2,7 @@
 
 #include "src/matrix/ops.h"
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 
 namespace triclust {
 
@@ -62,9 +63,14 @@ std::vector<Sentiment> PropagateBipartite(
     const LabelPropagationOptions& options) {
   TRICLUST_CHECK_EQ(x.rows(), seed_labels.size());
   TRICLUST_CHECK_GE(options.num_classes, 2);
+  ScopedNumThreads thread_scope(options.num_threads);
+  // Cache Xᵀ once so the per-iteration feature step is a row-parallel SpMM
+  // instead of the always-serial scatter SpTMM; the per-entry summation
+  // order is identical, so this is bitwise the historical result.
+  const SparseMatrix xt = x.Transposed();
   DenseMatrix y = SeedMatrix(seed_labels, options.num_classes);
   for (int iter = 0; iter < options.iterations; ++iter) {
-    DenseMatrix yf = SpTMM(x, y);  // feature scores
+    DenseMatrix yf = SpMM(xt, y);  // feature scores
     NormalizeNonZeroRows(&yf);
     y = SpMM(x, yf);  // back to items
     NormalizeNonZeroRows(&y);
@@ -78,6 +84,7 @@ std::vector<Sentiment> PropagateGraph(
     const LabelPropagationOptions& options) {
   TRICLUST_CHECK_EQ(graph.num_nodes(), seed_labels.size());
   TRICLUST_CHECK_GE(options.num_classes, 2);
+  ScopedNumThreads thread_scope(options.num_threads);
   DenseMatrix y = SeedMatrix(seed_labels, options.num_classes);
   for (int iter = 0; iter < options.iterations; ++iter) {
     DenseMatrix next = SpMM(graph.adjacency(), y);

@@ -18,6 +18,13 @@ struct LabelPropagationOptions {
   int iterations = 30;
   /// Retention of the seed distribution at each step (clamped seeds = 1.0).
   double clamp = 1.0;
+  /// Kernel thread budget for the propagation products (src/util/
+  /// parallel.h): 0 = hardware concurrency, 1 = the exact serial path.
+  /// Both propagation variants run row-partitioned SpMM kernels only (the
+  /// bipartite form propagates through a transpose cached once up front
+  /// instead of the serial scatter SpTMM), so results are bit-identical at
+  /// every setting.
+  int num_threads = 1;
 };
 
 /// Semi-supervised label propagation over the *lexical* bipartite graph:

@@ -20,6 +20,11 @@ struct UserRegOptions {
   /// Weight of the author's aggregated stance when re-scoring tweets.
   double user_prior_weight = 0.5;
   uint64_t seed = 17;
+  /// Kernel thread budget for the aggregation/smoothing products
+  /// (src/util/parallel.h): 0 = hardware concurrency, 1 = the exact serial
+  /// path. The hot kernels are row-partitioned SpMMs, so results are
+  /// bit-identical at every setting.
+  int num_threads = 1;
 };
 
 /// Result of one UserReg run: predictions at both levels.

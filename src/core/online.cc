@@ -1,344 +1,43 @@
 #include "src/core/online.h"
 
-#include <algorithm>
-#include <cmath>
 #include <fstream>
+#include <utility>
 
-#include "src/core/init.h"
-#include "src/core/objective.h"
-#include "src/core/updates.h"
-#include "src/matrix/io.h"
-#include "src/matrix/ops.h"
-#include "src/util/logging.h"
+#include "src/util/file_util.h"
 #include "src/util/parallel.h"
-#include "src/util/rng.h"
-#include "src/util/string_util.h"
 
 namespace triclust {
 
 OnlineTriClusterer::OnlineTriClusterer(OnlineConfig config, DenseMatrix sf0)
-    : config_(config), sf0_(std::move(sf0)) {
-  TRICLUST_CHECK_GE(config_.base.num_clusters, 2);
-  TRICLUST_CHECK_EQ(sf0_.cols(),
-                    static_cast<size_t>(config_.base.num_clusters));
-  TRICLUST_CHECK_GT(config_.tau, 0.0);
-  TRICLUST_CHECK_LE(config_.tau, 1.0);
-  TRICLUST_CHECK_GE(config_.window, 1);
-  TRICLUST_CHECK_GE(config_.alpha, 0.0);
-  TRICLUST_CHECK_GE(config_.gamma, 0.0);
-}
-
-DenseMatrix OnlineTriClusterer::ComputeSfw() const {
-  if (sf_history_.empty()) return sf0_;
-  DenseMatrix sfw(sf0_.rows(), sf0_.cols(), 0.0);
-  double weight = config_.tau;
-  double weight_sum = 0.0;
-  for (const DenseMatrix& sf : sf_history_) {
-    sfw.Axpy(weight, sf);
-    weight_sum += weight;
-    weight *= config_.tau;
-  }
-  if (weight_sum > 0.0) sfw.ScaleInPlace(1.0 / weight_sum);
-  // A converged Sf's magnitude is an arbitrary byproduct of the
-  // factorization scale; as a regularization target only the row *shapes*
-  // matter. Renormalizing each feature row to a distribution keeps the
-  // target on the same scale class as the prior Sf0 (row-stochastic), so
-  // the α pull stays meaningful across snapshots of any volume.
-  sfw.NormalizeRowsL1();
-  // Persistent lexicon anchor (see OnlineConfig::lexicon_blend).
-  const double blend = config_.lexicon_blend;
-  if (blend > 0.0) {
-    sfw.ScaleInPlace(1.0 - blend);
-    sfw.Axpy(blend, sf0_);
-  }
-  return sfw;
-}
+    : solver_(config, std::move(sf0)) {}
 
 std::vector<double> OnlineTriClusterer::UserSentiment(
     size_t corpus_user_id) const {
-  const auto it = user_history_.find(corpus_user_id);
-  if (it == user_history_.end() || it->second.empty()) return {};
-  return it->second.front();
+  return state_.UserSentiment(corpus_user_id);
 }
 
 Status OnlineTriClusterer::SaveState(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  out << "triclust-online-state 1\n";
-  out << timestep_ << " " << sf_history_.size() << " "
-      << user_history_.size() << "\n";
-  for (const DenseMatrix& sf : sf_history_) {
-    WriteDenseMatrix(sf, &out);
-  }
-  // User histories, sorted by id for deterministic files.
-  std::vector<size_t> user_ids;
-  user_ids.reserve(user_history_.size());
-  for (const auto& [user, history] : user_history_) {
-    user_ids.push_back(user);
-  }
-  std::sort(user_ids.begin(), user_ids.end());
-  for (size_t user : user_ids) {
-    const auto& history = user_history_.at(user);
-    out << user << " " << history.size() << "\n";
-    for (const auto& row : history) {
-      for (size_t c = 0; c < row.size(); ++c) {
-        if (c > 0) out << " ";
-        out << StrFormat("%.17g", row[c]);
-      }
-      out << "\n";
-    }
-  }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return AtomicWriteFile(
+      path, [this](std::ostream* os) { return state_.Write(os); });
 }
 
 Status OnlineTriClusterer::RestoreState(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for reading: " + path);
-  std::string line;
-  if (!std::getline(in, line) || line != "triclust-online-state 1") {
-    return Status::ParseError("bad state header: " + line);
-  }
-  size_t timestep = 0;
-  size_t num_sf = 0;
-  size_t num_users = 0;
-  if (!std::getline(in, line)) return Status::ParseError("missing counts");
-  {
-    const auto fields = SplitWhitespace(line);
-    if (fields.size() != 3 || !ParseSizeT(fields[0], &timestep) ||
-        !ParseSizeT(fields[1], &num_sf) ||
-        !ParseSizeT(fields[2], &num_users)) {
-      return Status::ParseError("malformed counts: " + line);
-    }
-  }
-  std::deque<DenseMatrix> sf_history;
-  for (size_t i = 0; i < num_sf; ++i) {
-    TRICLUST_ASSIGN_OR_RETURN(DenseMatrix sf, ReadDenseMatrix(&in));
-    if (sf.rows() != sf0_.rows() || sf.cols() != sf0_.cols()) {
-      return Status::FailedPrecondition(
-          "checkpoint feature space does not match this clusterer");
-    }
-    sf_history.push_back(std::move(sf));
-  }
-  std::unordered_map<size_t, std::deque<std::vector<double>>> user_history;
-  const size_t k = sf0_.cols();
-  for (size_t u = 0; u < num_users; ++u) {
-    if (!std::getline(in, line)) {
-      return Status::ParseError("state truncated in user section");
-    }
-    const auto header = SplitWhitespace(line);
-    size_t user = 0;
-    size_t rows = 0;
-    if (header.size() != 2 || !ParseSizeT(header[0], &user) ||
-        !ParseSizeT(header[1], &rows)) {
-      return Status::ParseError("malformed user header: " + line);
-    }
-    std::deque<std::vector<double>> history;
-    for (size_t r = 0; r < rows; ++r) {
-      if (!std::getline(in, line)) {
-        return Status::ParseError("state truncated in user rows");
-      }
-      const auto fields = SplitWhitespace(line);
-      if (fields.size() != k) {
-        return Status::ParseError("user row has wrong arity: " + line);
-      }
-      std::vector<double> row(k);
-      for (size_t c = 0; c < k; ++c) {
-        if (!ParseDouble(fields[c], &row[c])) {
-          return Status::ParseError("bad user value: " + fields[c]);
-        }
-      }
-      history.push_back(std::move(row));
-    }
-    user_history.emplace(user, std::move(history));
-  }
-
-  timestep_ = static_cast<int>(timestep);
-  sf_history_ = std::move(sf_history);
-  user_history_ = std::move(user_history);
+  TRICLUST_ASSIGN_OR_RETURN(
+      StreamState state,
+      StreamState::Read(&in, solver_.sf0().rows(), solver_.sf0().cols()));
+  state_ = std::move(state);
   return Status::OK();
 }
 
 TriClusterResult OnlineTriClusterer::ProcessSnapshot(
     const DatasetMatrices& data) {
-  const size_t n = data.num_tweets();
-  const size_t m = data.num_users();
-  const size_t k = static_cast<size_t>(config_.base.num_clusters);
-  TRICLUST_CHECK_EQ(data.xp.cols(), sf0_.rows());
-  const double eps = config_.base.epsilon;
-
-  // One thread budget + one update workspace per snapshot fit, mirroring
-  // the offline solver (the snapshot's matrices outlive the workspace's
-  // cached transposes).
-  ScopedNumThreads thread_scope(config_.base.num_threads);
-  update::UpdateWorkspace workspace;
-
-  const DenseMatrix sfw = ComputeSfw();
-  last_sfw_ = sfw;
-
-  // --- partition users (paper: new / evolving / disappeared) --------------
-  UserPartition partition;
-  for (size_t j = 0; j < m; ++j) {
-    if (user_history_.count(data.user_ids[j]) > 0) {
-      partition.evolving_rows.push_back(j);
-    } else {
-      partition.new_rows.push_back(j);
-    }
-  }
-  {
-    size_t active_with_history = partition.evolving_rows.size();
-    partition.num_disappeared = user_history_.size() - active_with_history;
-  }
-  last_partition_ = partition;
-
-  TriClusterResult result;
-  if (n == 0) {
-    // Nothing arrived in this window: carry the feature state forward.
-    result.sf = sfw;
-    ++timestep_;
-    sf_history_.push_front(sfw);
-    while (static_cast<int>(sf_history_.size()) > config_.window - 1) {
-      sf_history_.pop_back();
-    }
-    return result;
-  }
-
-  // --- temporal user targets ----------------------------------------------
-  // Suw(t): decayed aggregate of each evolving user's history (normalized
-  // like Sfw); zero rows (and zero weight) for new users.
-  DenseMatrix suw(m, k, 0.0);
-  std::vector<double> temporal_weights(m, 0.0);
-  for (size_t j : partition.evolving_rows) {
-    const auto& history = user_history_.at(data.user_ids[j]);
-    double weight = config_.tau;
-    double weight_sum = 0.0;
-    for (const auto& row : history) {
-      TRICLUST_CHECK_EQ(row.size(), k);
-      for (size_t c = 0; c < k; ++c) suw(j, c) += weight * row[c];
-      weight_sum += weight;
-      weight *= config_.tau;
-    }
-    // Row-normalize to a distribution (same rationale as Sfw).
-    double row_sum = 0.0;
-    for (size_t c = 0; c < k; ++c) row_sum += suw(j, c);
-    if (row_sum > 0.0) {
-      for (size_t c = 0; c < k; ++c) suw(j, c) /= row_sum;
-    } else {
-      for (size_t c = 0; c < k; ++c) suw(j, c) = 1.0 / static_cast<double>(k);
-    }
-    (void)weight_sum;
-    temporal_weights[j] = config_.gamma;
-  }
-
-  // --- initialization (Algorithm 2 lines 1–2) -----------------------------
-  Rng rng(config_.base.seed + static_cast<uint64_t>(timestep_) * 7919);
-  FactorSet f;
-  f.sf = sfw;  // line 1: Sf(t) = Sfw(t)
-  {            // strictly positive entries so every coordinate can move
-    double* p = f.sf.data();
-    for (size_t i = 0; i < f.sf.size(); ++i) {
-      p[i] = std::max(p[i], 1e-4) + rng.Uniform(0.0, 0.01);
-    }
-  }
-
-  f.sp = SpMM(data.xp, sfw);
-  f.sp.NormalizeRowsL1();
-  for (size_t i = 0; i < f.sp.size(); ++i) {
-    f.sp.data()[i] += rng.Uniform(0.01, 0.05);
-  }
-
-  f.su = SpMM(data.xu, sfw);
-  f.su.NormalizeRowsL1();
-  for (size_t i = 0; i < f.su.size(); ++i) {
-    f.su.data()[i] += rng.Uniform(0.01, 0.05);
-  }
-  // line 1: evolving users resume from their aggregate.
-  if (config_.seed_users_from_history) {
-    for (size_t j : partition.evolving_rows) {
-      for (size_t c = 0; c < k; ++c) {
-        f.su(j, c) = std::max(suw(j, c), 1e-4) + rng.Uniform(0.0, 0.01);
-      }
-    }
-  }
-
-  f.hp = DenseMatrix::Identity(k);
-  f.hu = DenseMatrix::Identity(k);
-  for (size_t i = 0; i < f.hp.size(); ++i) {
-    f.hp.data()[i] += rng.Uniform(0.01, 0.05);
-    f.hu.data()[i] += rng.Uniform(0.01, 0.05);
-  }
-
-  // --- multiplicative loop (Algorithm 2 lines 3–8) ------------------------
-  auto record_loss = [&]() -> double {
-    const LossComponents loss = ComputeObjective(
-        data.xp, data.xu, data.xr, data.gu, f.sp, f.su, f.sf, f.hp, f.hu,
-        config_.alpha, sfw, config_.base.beta, &temporal_weights, &suw);
-    if (config_.base.track_loss) result.loss_history.push_back(loss);
-    return loss.Total();
-  };
-
-  double previous_total = record_loss();
-  FactorSet last_finite = f;
-  for (int iter = 0; iter < config_.base.max_iterations; ++iter) {
-    // Same sweep order as the offline Algorithm 1 (Sp/Hp before Su/Hu
-    // before Sf): updating Sf against the still-uninformative Sp/Su of the
-    // first iterations would corrupt the carried-over feature state.
-    update::UpdateSp(data.xp, data.xr, f.sf, f.hp, f.su, &f.sp, eps,
-                     config_.base.sparsity, nullptr, nullptr, &workspace);
-    update::UpdateHp(data.xp, f.sp, f.sf, &f.hp, eps, &workspace);
-    update::UpdateSu(data.xu, data.xr, data.gu, f.sf, f.hu, f.sp,
-                     config_.base.beta, &temporal_weights, &suw, &f.su, eps,
-                     config_.base.sparsity, &workspace);
-    update::UpdateHu(data.xu, f.su, f.sf, &f.hu, eps, &workspace);
-    update::UpdateSf(data.xp, data.xu, f.sp, f.su, f.hp, f.hu, config_.alpha,
-                     sfw, &f.sf, eps, config_.base.sparsity, &workspace);
-
-    result.iterations = iter + 1;
-    const double total = record_loss();
-    if (!std::isfinite(total)) {
-      // See OfflineTriClusterer: restore the last finite iterate rather
-      // than poisoning the stream state with inf/nan factors.
-      TRICLUST_LOG(kWarning)
-          << "online tri-clustering diverged at snapshot " << timestep_
-          << " iteration " << iter << "; restoring last finite factors";
-      f = std::move(last_finite);
-      if (config_.base.track_loss) result.loss_history.pop_back();
-      break;
-    }
-    last_finite = f;
-    const double denom = std::max(previous_total, 1e-30);
-    if (std::fabs(previous_total - total) / denom <
-        config_.base.tolerance) {
-      result.converged = true;
-      previous_total = total;
-      break;
-    }
-    previous_total = total;
-  }
-
-  // --- roll state forward ---------------------------------------------------
-  sf_history_.push_front(f.sf);
-  while (static_cast<int>(sf_history_.size()) >
-         std::max(config_.window - 1, 1)) {
-    sf_history_.pop_back();
-  }
-  for (size_t j = 0; j < m; ++j) {
-    auto& history = user_history_[data.user_ids[j]];
-    std::vector<double> row(f.su.Row(j), f.su.Row(j) + k);
-    history.push_front(std::move(row));
-    while (static_cast<int>(history.size()) >
-           std::max(config_.window - 1, 1)) {
-      history.pop_back();
-    }
-  }
-  ++timestep_;
-
-  result.sp = std::move(f.sp);
-  result.su = std::move(f.su);
-  result.sf = std::move(f.sf);
-  result.hp = std::move(f.hp);
-  result.hu = std::move(f.hu);
-  return result;
+  // One thread budget per snapshot fit, mirroring the offline solver. The
+  // workspace is reused across snapshots (Solve resets its transpose cache
+  // at every fit boundary), so steady-state streaming allocates no scratch.
+  ScopedNumThreads thread_scope(solver_.config().base.num_threads);
+  return solver_.Solve(data, &state_, &last_info_, &workspace_);
 }
 
 }  // namespace triclust

@@ -1,69 +1,72 @@
 #ifndef TRICLUST_SRC_CORE_ONLINE_H_
 #define TRICLUST_SRC_CORE_ONLINE_H_
 
-#include <deque>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/core/config.h"
 #include "src/core/result.h"
+#include "src/core/snapshot_solver.h"
+#include "src/core/stream_state.h"
 #include "src/data/matrix_builder.h"
 #include "src/matrix/dense_matrix.h"
 #include "src/util/status.h"
 
 namespace triclust {
 
-/// The online tri-clustering solver (paper §4, Algorithm 2).
+/// The online tri-clustering solver (paper §4, Algorithm 2) for a single
+/// stream: a thin stateful wrapper over the stateless SnapshotSolver and
+/// the value-type StreamState it advances. Kept as the convenient
+/// single-campaign API (and for compatibility with the original interface);
+/// multi-campaign serving composes the same two pieces directly — see
+/// src/serving/campaign_engine.h.
 ///
-/// Consumes temporal snapshots in order. For snapshot t it factorizes only
-/// the new data matrices Xp(t)/Xu(t)/Xr(t) while regularizing toward the
-/// exponentially-decayed window aggregates
-///   Sfw(t) = Σ_{i=1..w−1} τ^i·Sf(t−i)   (features evolve smoothly, Obs. 1)
-///   Suw(t) = Σ_{i=1..w−1} τ^i·Su(t−i)   (users rarely flip, Obs. 2)
-/// with weights α and γ. Users are partitioned into new (no history —
-/// Eq. 24), evolving (history — Eq. 26, extra γ pull), and disappeared
-/// (absent at t; their history is retained so they re-enter as evolving).
-///
-/// The window aggregates are normalized by Σ τ^i so they stay on the scale
-/// of one factor matrix (a numerical-stability refinement over the paper's
-/// raw sum; τ still sets the relative decay of older snapshots).
+/// Behavior is identical to the historical monolithic implementation —
+/// ProcessSnapshot installs the config's kernel thread budget, delegates to
+/// SnapshotSolver::Solve, and records the solve's Sfw/partition for
+/// inspection — with one deliberate exception: for window == 1 an empty
+/// snapshot now retains the latest Sf history entry instead of erasing it
+/// (the legacy path reset the stream to the lexicon prior after one quiet
+/// day; see the n == 0 path in snapshot_solver.cc).
 class OnlineTriClusterer {
  public:
   /// `sf0` is the l×k lexicon prior, used as the feature target for the
   /// first snapshot (no history yet) and to initialize new users.
   OnlineTriClusterer(OnlineConfig config, DenseMatrix sf0);
 
-  /// Row partition of the current snapshot's users.
-  struct UserPartition {
-    std::vector<size_t> new_rows;
-    std::vector<size_t> evolving_rows;
-    /// Users with history that are absent from this snapshot.
-    size_t num_disappeared = 0;
-  };
+  /// Row partition of the current snapshot's users (see snapshot_solver.h).
+  using UserPartition = triclust::UserPartition;
 
   /// Processes the next snapshot (matrices built against the same
   /// vocabulary as sf0). Returns the factors for this snapshot; rows of
   /// su/sp align with data.user_ids/data.tweet_ids.
   TriClusterResult ProcessSnapshot(const DatasetMatrices& data);
 
-  const OnlineConfig& config() const { return config_; }
+  const OnlineConfig& config() const { return solver_.config(); }
 
   /// Number of snapshots processed so far.
-  int timestep() const { return timestep_; }
+  int timestep() const { return state_.timestep; }
 
   /// Feature target Sfw(t) used by the most recent ProcessSnapshot call.
-  const DenseMatrix& last_sfw() const { return last_sfw_; }
+  const DenseMatrix& last_sfw() const { return last_info_.sfw; }
 
   /// User partition of the most recent ProcessSnapshot call.
-  const UserPartition& last_partition() const { return last_partition_; }
+  const UserPartition& last_partition() const { return last_info_.partition; }
 
   /// Latest known sentiment row of a corpus user, or empty when unseen.
   std::vector<double> UserSentiment(size_t corpus_user_id) const;
 
-  /// Checkpoints the stream state (timestep, Sf history, user histories) so
-  /// a deployment can restart mid-stream. The config and sf0 are not
-  /// persisted — construct the clusterer with the same ones, then Restore.
+  /// The full stream state (timestep, Sf history, user histories).
+  const StreamState& state() const { return state_; }
+
+  /// Replaces the stream state (e.g. one restored by a CampaignStore).
+  void set_state(StreamState state) { state_ = std::move(state); }
+
+  /// Checkpoints the stream state so a deployment can restart mid-stream.
+  /// The write is atomic (temp file + rename): a crash mid-checkpoint
+  /// leaves any previous checkpoint at `path` intact. The config and sf0
+  /// are not persisted — construct the clusterer with the same ones, then
+  /// Restore.
   Status SaveState(const std::string& path) const;
 
   /// Restores a checkpoint written by SaveState. The clusterer must have
@@ -71,18 +74,10 @@ class OnlineTriClusterer {
   Status RestoreState(const std::string& path);
 
  private:
-  DenseMatrix ComputeSfw() const;
-
-  OnlineConfig config_;
-  DenseMatrix sf0_;
-  /// sf_history_[0] is Sf(t−1); trimmed to window−1 entries.
-  std::deque<DenseMatrix> sf_history_;
-  /// Per corpus-user history of Su rows, most recent first, trimmed to
-  /// window−1 entries.
-  std::unordered_map<size_t, std::deque<std::vector<double>>> user_history_;
-  int timestep_ = 0;
-  DenseMatrix last_sfw_;
-  UserPartition last_partition_;
+  SnapshotSolver solver_;
+  StreamState state_;
+  SnapshotSolver::SolveInfo last_info_;
+  update::UpdateWorkspace workspace_;
 };
 
 }  // namespace triclust

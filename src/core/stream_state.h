@@ -1,0 +1,52 @@
+#ifndef TRICLUST_SRC_CORE_STREAM_STATE_H_
+#define TRICLUST_SRC_CORE_STREAM_STATE_H_
+
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "src/matrix/dense_matrix.h"
+#include "src/util/status.h"
+
+namespace triclust {
+
+/// The complete evolving state of one online tri-clustering stream
+/// (paper §4): everything Algorithm 2 carries from snapshot t−1 to t.
+///
+/// This is a plain value type — copyable, movable, serializable — with no
+/// behavior of its own. The per-snapshot solve lives in SnapshotSolver,
+/// which maps (StreamState, DatasetMatrices) → (TriClusterResult,
+/// StreamState'); keeping the state inert is what lets a serving layer hold
+/// N campaign states side by side, checkpoint them independently, and fit
+/// them on whichever thread is free.
+struct StreamState {
+  /// Number of snapshots processed so far.
+  int timestep = 0;
+  /// sf_history[0] is Sf(t−1); trimmed to window−1 entries by the solver.
+  std::deque<DenseMatrix> sf_history;
+  /// Per corpus-user history of Su rows, most recent first, trimmed to
+  /// window−1 entries by the solver.
+  std::unordered_map<size_t, std::deque<std::vector<double>>> user_history;
+
+  /// Latest known sentiment row of a corpus user, or empty when unseen.
+  std::vector<double> UserSentiment(size_t corpus_user_id) const;
+
+  /// Serializes to the `triclust-online-state 1` text format (the same
+  /// format OnlineTriClusterer::SaveState has always written, so existing
+  /// checkpoints stay readable). User histories are written in sorted id
+  /// order for deterministic files. Returns an IoError when the stream
+  /// fails.
+  Status Write(std::ostream* os) const;
+
+  /// Parses a state written by Write(). `num_features`/`num_clusters` are
+  /// the dimensions of the owning solver's Sf0; every Sf matrix and user
+  /// row in the checkpoint is validated against them.
+  static Result<StreamState> Read(std::istream* is, size_t num_features,
+                                  size_t num_clusters);
+};
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_CORE_STREAM_STATE_H_

@@ -50,6 +50,12 @@ const SparseMatrix& UpdateWorkspace::Transposed(TransposeSlot slot,
   return entry.transposed;
 }
 
+void UpdateWorkspace::ResetTransposeCache() {
+  for (CachedTranspose& entry : transpose_cache_) {
+    entry.source = nullptr;
+  }
+}
+
 void UpdateSf(const SparseMatrix& xp, const SparseMatrix& xu,
               const DenseMatrix& sp, const DenseMatrix& su,
               const DenseMatrix& hp, const DenseMatrix& hu, double alpha,

@@ -49,6 +49,14 @@ class UpdateWorkspace {
   /// different matrix (by address) is bound to the slot.
   const SparseMatrix& Transposed(TransposeSlot slot, const SparseMatrix& x);
 
+  /// Forgets the cached transposes (scratch matrices are kept). Needed
+  /// when re-using a long-lived workspace against *new* data matrices that
+  /// may coincidentally alias a prior fit's freed addresses — the
+  /// by-address cache check cannot distinguish that case on its own.
+  /// SnapshotSolver::Solve calls this on every caller-owned workspace;
+  /// direct users of the update rules must do likewise at fit boundaries.
+  void ResetTransposeCache();
+
   /// Scratch matrices, used freely by the update rules. rows_* hold
   /// (n|m|l)×k intermediates, kk_* hold k×k ones.
   DenseMatrix rows_a, rows_b, rows_c, rows_d, rows_e, rows_f;

@@ -1,6 +1,7 @@
 #include "src/data/matrix_builder.h"
 
 #include <unordered_map>
+#include <utility>
 
 #include "src/util/logging.h"
 
@@ -20,36 +21,29 @@ void MatrixBuilder::Fit(const Corpus& corpus) {
   fitted_ = true;
 }
 
-DatasetMatrices MatrixBuilder::Build(const Corpus& corpus,
-                                     const std::vector<size_t>& tweet_ids,
-                                     int user_label_day) const {
-  TRICLUST_CHECK(fitted_);
+DatasetMatrices MatrixBuilder::Assemble(const Corpus& corpus,
+                                        std::vector<size_t> tweet_ids,
+                                        SparseMatrix xp,
+                                        int user_label_day) const {
   DatasetMatrices out;
-  out.tweet_ids = tweet_ids;
+  out.tweet_ids = std::move(tweet_ids);
+  out.xp = std::move(xp);
 
   // Row maps.
   std::unordered_map<size_t, size_t> tweet_row;
-  tweet_row.reserve(tweet_ids.size());
-  for (size_t i = 0; i < tweet_ids.size(); ++i) {
-    TRICLUST_CHECK_LT(tweet_ids[i], corpus.num_tweets());
-    tweet_row[tweet_ids[i]] = i;
+  tweet_row.reserve(out.tweet_ids.size());
+  for (size_t i = 0; i < out.tweet_ids.size(); ++i) {
+    TRICLUST_CHECK_LT(out.tweet_ids[i], corpus.num_tweets());
+    tweet_row[out.tweet_ids[i]] = i;
   }
 
   std::unordered_map<size_t, size_t> user_row;
-  for (size_t tweet_id : tweet_ids) {
+  for (size_t tweet_id : out.tweet_ids) {
     const size_t author = corpus.tweet(tweet_id).user;
     if (user_row.emplace(author, out.user_ids.size()).second) {
       out.user_ids.push_back(author);
     }
   }
-
-  // Xp: tweet–feature.
-  std::vector<std::vector<std::string>> docs;
-  docs.reserve(tweet_ids.size());
-  for (size_t tweet_id : tweet_ids) {
-    docs.push_back(tokens_by_tweet_[tweet_id]);
-  }
-  out.xp = vectorizer_.Transform(docs);
 
   // Xu: user–feature = sum of the user's tweet rows.
   {
@@ -57,8 +51,8 @@ DatasetMatrices MatrixBuilder::Build(const Corpus& corpus,
     const auto& row_ptr = out.xp.row_ptr();
     const auto& col_idx = out.xp.col_idx();
     const auto& values = out.xp.values();
-    for (size_t i = 0; i < tweet_ids.size(); ++i) {
-      const size_t urow = user_row.at(corpus.tweet(tweet_ids[i]).user);
+    for (size_t i = 0; i < out.tweet_ids.size(); ++i) {
+      const size_t urow = user_row.at(corpus.tweet(out.tweet_ids[i]).user);
       for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
         builder.Add(urow, col_idx[p], values[p]);
       }
@@ -70,10 +64,10 @@ DatasetMatrices MatrixBuilder::Build(const Corpus& corpus,
   // Gu: one unit of weight per retweet event whose two endpoints are both
   // active in the subset.
   {
-    SparseMatrix::Builder builder(out.user_ids.size(), tweet_ids.size());
+    SparseMatrix::Builder builder(out.user_ids.size(), out.tweet_ids.size());
     std::vector<UserGraph::Edge> edges;
-    for (size_t i = 0; i < tweet_ids.size(); ++i) {
-      const Tweet& t = corpus.tweet(tweet_ids[i]);
+    for (size_t i = 0; i < out.tweet_ids.size(); ++i) {
+      const Tweet& t = corpus.tweet(out.tweet_ids[i]);
       const size_t urow = user_row.at(t.user);
       builder.Add(urow, i, 1.0);
       if (t.IsRetweet()) {
@@ -94,8 +88,8 @@ DatasetMatrices MatrixBuilder::Build(const Corpus& corpus,
   }
 
   // Ground truth.
-  out.tweet_labels.reserve(tweet_ids.size());
-  for (size_t tweet_id : tweet_ids) {
+  out.tweet_labels.reserve(out.tweet_ids.size());
+  for (size_t tweet_id : out.tweet_ids) {
     out.tweet_labels.push_back(corpus.tweet(tweet_id).label);
   }
   out.user_labels.reserve(out.user_ids.size());
@@ -108,10 +102,81 @@ DatasetMatrices MatrixBuilder::Build(const Corpus& corpus,
   return out;
 }
 
+DatasetMatrices MatrixBuilder::Build(const Corpus& corpus,
+                                     const std::vector<size_t>& tweet_ids,
+                                     int user_label_day) const {
+  TRICLUST_CHECK(fitted_);
+  // Xp: tweet–feature.
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(tweet_ids.size());
+  for (size_t tweet_id : tweet_ids) {
+    TRICLUST_CHECK_LT(tweet_id, tokens_by_tweet_.size());
+    docs.push_back(tokens_by_tweet_[tweet_id]);
+  }
+  return Assemble(corpus, tweet_ids, vectorizer_.Transform(docs),
+                  user_label_day);
+}
+
 DatasetMatrices MatrixBuilder::BuildAll(const Corpus& corpus) const {
   std::vector<size_t> all(corpus.num_tweets());
   for (size_t i = 0; i < all.size(); ++i) all[i] = i;
   return Build(corpus, all);
+}
+
+void MatrixBuilder::Append(const Corpus& corpus, size_t tweet_id) {
+  Append(corpus, std::vector<size_t>{tweet_id});
+}
+
+void MatrixBuilder::Append(const Corpus& corpus,
+                           const std::vector<size_t>& tweet_ids) {
+  TRICLUST_CHECK(fitted_);
+  if (tweet_ids.empty()) return;
+  // Vectorize the whole batch in one Transform. Per-document tf-idf
+  // weighting and L2 normalization are independent of the rest of the
+  // batch, so each row is identical to the one Build() — or a
+  // one-tweet Append — would produce.
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(tweet_ids.size());
+  for (size_t tweet_id : tweet_ids) {
+    TRICLUST_CHECK_LT(tweet_id, corpus.num_tweets());
+    if (tweet_id < tokens_by_tweet_.size()) {
+      docs.push_back(tokens_by_tweet_[tweet_id]);
+    } else {
+      // Arrived after Fit(): tokenize on the fly (OOV tokens drop out).
+      docs.push_back(tokenizer_.Tokenize(corpus.tweet(tweet_id).text));
+    }
+  }
+  const SparseMatrix rows = vectorizer_.Transform(docs);
+  const auto& row_ptr = rows.row_ptr();
+  for (size_t i = 0; i < tweet_ids.size(); ++i) {
+    const auto begin = static_cast<ptrdiff_t>(row_ptr[i]);
+    const auto end = static_cast<ptrdiff_t>(row_ptr[i + 1]);
+    PendingRow pending;
+    pending.cols.assign(rows.col_idx().begin() + begin,
+                        rows.col_idx().begin() + end);
+    pending.values.assign(rows.values().begin() + begin,
+                          rows.values().begin() + end);
+    pending_ids_.push_back(tweet_ids[i]);
+    pending_rows_.push_back(std::move(pending));
+  }
+}
+
+DatasetMatrices MatrixBuilder::EmitSnapshot(const Corpus& corpus,
+                                            int user_label_day) {
+  TRICLUST_CHECK(fitted_);
+  SparseMatrix::Builder builder(pending_rows_.size(),
+                                vectorizer_.vocabulary().size());
+  for (size_t i = 0; i < pending_rows_.size(); ++i) {
+    const PendingRow& row = pending_rows_[i];
+    for (size_t p = 0; p < row.cols.size(); ++p) {
+      builder.Add(i, row.cols[p], row.values[p]);
+    }
+  }
+  DatasetMatrices out = Assemble(corpus, std::move(pending_ids_),
+                                 builder.Build(), user_label_day);
+  pending_ids_.clear();
+  pending_rows_.clear();
+  return out;
 }
 
 }  // namespace triclust

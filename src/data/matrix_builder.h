@@ -45,6 +45,16 @@ struct DatasetMatrices {
 /// shared space, which keeps Sf(t) dimensionally consistent across online
 /// snapshots. Out-of-vocabulary tokens in later snapshots are dropped,
 /// matching how a deployed system would pin its feature hash space.
+///
+/// Streaming ingestion: Append() accumulates tweets into a *pending
+/// snapshot*, vectorizing each tweet once on arrival — O(tokens of the new
+/// tweet), independent of how much is already pending — and EmitSnapshot()
+/// assembles the accumulated rows into DatasetMatrices identical to what
+/// Build() would produce for the same tweet ids. This is the ingestion path
+/// of the serving layer: a request deadline pays only for the matrices'
+/// assembly, never for re-tokenizing or re-weighting the backlog. Tweets
+/// added to the corpus after Fit() are tokenized on the fly (their
+/// out-of-vocabulary tokens drop out, as in Build).
 class MatrixBuilder {
  public:
   explicit MatrixBuilder(TokenizerOptions tokenizer_options = {},
@@ -66,11 +76,40 @@ class MatrixBuilder {
   /// Builds matrices over the whole corpus.
   DatasetMatrices BuildAll(const Corpus& corpus) const;
 
+  /// Appends one tweet to the pending snapshot (O(its tokens)).
+  void Append(const Corpus& corpus, size_t tweet_id);
+
+  /// Appends a batch of tweets to the pending snapshot.
+  void Append(const Corpus& corpus, const std::vector<size_t>& tweet_ids);
+
+  /// Number of tweets accumulated since the last EmitSnapshot().
+  size_t num_pending() const { return pending_ids_.size(); }
+
+  /// Assembles the pending snapshot — bitwise identical to
+  /// Build(corpus, <appended ids in order>, user_label_day) — and clears
+  /// the pending buffer. O(pending tweets), no tokenization.
+  DatasetMatrices EmitSnapshot(const Corpus& corpus, int user_label_day = -1);
+
  private:
+  /// One vectorized pending tweet: its canonical Xp row.
+  struct PendingRow {
+    std::vector<uint32_t> cols;
+    std::vector<double> values;
+  };
+
+  /// Shared tail of Build/EmitSnapshot: everything past Xp (row maps, Xu,
+  /// Xr, Gu, labels) derived from an already-vectorized Xp.
+  DatasetMatrices Assemble(const Corpus& corpus,
+                           std::vector<size_t> tweet_ids, SparseMatrix xp,
+                           int user_label_day) const;
+
   Tokenizer tokenizer_;
   DocumentVectorizer vectorizer_;
   std::vector<std::vector<std::string>> tokens_by_tweet_;
   bool fitted_ = false;
+
+  std::vector<size_t> pending_ids_;
+  std::vector<PendingRow> pending_rows_;
 };
 
 }  // namespace triclust

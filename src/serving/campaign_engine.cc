@@ -1,0 +1,138 @@
+#include "src/serving/campaign_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/util/parallel.h"
+#include "src/util/stopwatch.h"
+
+namespace triclust {
+namespace serving {
+
+CampaignEngine::CampaignEngine(Options options) : options_(options) {
+  TRICLUST_CHECK_GE(options_.num_threads, 0);
+}
+
+size_t CampaignEngine::AddCampaign(std::string name, OnlineConfig config,
+                                   DenseMatrix sf0, MatrixBuilder builder,
+                                   const Corpus* corpus) {
+  TRICLUST_CHECK(corpus != nullptr);
+  TRICLUST_CHECK(!name.empty());
+  // Names key the store's line-oriented manifest: no control characters,
+  // and no leading space (Restore trims exactly one after the timestep).
+  for (const char ch : name) {
+    TRICLUST_CHECK(static_cast<unsigned char>(ch) >= 0x20);
+  }
+  TRICLUST_CHECK(name.front() != ' ');
+  TRICLUST_CHECK_EQ(sf0.rows(), builder.vocabulary().size());
+  TRICLUST_CHECK_EQ(FindCampaign(name), -1);
+  campaigns_.push_back(std::make_unique<Campaign>(
+      std::move(name), config, std::move(sf0), std::move(builder), corpus));
+  return campaigns_.size() - 1;
+}
+
+const std::string& CampaignEngine::name(size_t campaign) const {
+  TRICLUST_CHECK_LT(campaign, campaigns_.size());
+  return campaigns_[campaign]->name;
+}
+
+ptrdiff_t CampaignEngine::FindCampaign(const std::string& name) const {
+  for (size_t i = 0; i < campaigns_.size(); ++i) {
+    if (campaigns_[i]->name == name) return static_cast<ptrdiff_t>(i);
+  }
+  return -1;
+}
+
+void CampaignEngine::Ingest(size_t campaign,
+                            const std::vector<size_t>& tweet_ids,
+                            int label_day) {
+  TRICLUST_CHECK_LT(campaign, campaigns_.size());
+  Campaign& c = *campaigns_[campaign];
+  c.builder.Append(*c.corpus, tweet_ids);
+  c.pending_label_day = label_day;
+}
+
+size_t CampaignEngine::num_pending(size_t campaign) const {
+  TRICLUST_CHECK_LT(campaign, campaigns_.size());
+  return campaigns_[campaign]->builder.num_pending();
+}
+
+int CampaignEngine::timestep(size_t campaign) const {
+  TRICLUST_CHECK_LT(campaign, campaigns_.size());
+  return campaigns_[campaign]->state.timestep;
+}
+
+std::vector<double> CampaignEngine::UserSentiment(
+    size_t campaign, size_t corpus_user_id) const {
+  TRICLUST_CHECK_LT(campaign, campaigns_.size());
+  return campaigns_[campaign]->state.UserSentiment(corpus_user_id);
+}
+
+const StreamState& CampaignEngine::state(size_t campaign) const {
+  TRICLUST_CHECK_LT(campaign, campaigns_.size());
+  return campaigns_[campaign]->state;
+}
+
+const SnapshotSolver& CampaignEngine::solver(size_t campaign) const {
+  TRICLUST_CHECK_LT(campaign, campaigns_.size());
+  return campaigns_[campaign]->solver;
+}
+
+void CampaignEngine::set_state(size_t campaign, StreamState state) {
+  TRICLUST_CHECK_LT(campaign, campaigns_.size());
+  campaigns_[campaign]->state = std::move(state);
+}
+
+std::vector<CampaignEngine::SnapshotReport> CampaignEngine::Advance(
+    const AdvanceOptions& options) {
+  std::vector<size_t> targets;
+  for (size_t i = 0; i < campaigns_.size(); ++i) {
+    if (campaigns_[i]->builder.num_pending() > 0 || options.include_idle) {
+      targets.push_back(i);
+    }
+  }
+  // Chunks are claimed in `targets` order, so under deadline pressure the
+  // tail of the list is what gets deferred. Rotate the starting point each
+  // call so no campaign is *systematically* starved by its id.
+  if (!targets.empty()) {
+    std::rotate(targets.begin(),
+                targets.begin() + static_cast<ptrdiff_t>(
+                                      advance_count_ % targets.size()),
+                targets.end());
+  }
+  ++advance_count_;
+  std::vector<SnapshotReport> reports(targets.size());
+
+  const Stopwatch advance_clock;
+  // The engine budget drives only the cross-campaign sharding below; each
+  // fit pins its own kernels to the serial path, so per-campaign results
+  // do not depend on this setting (see class comment).
+  ScopedNumThreads budget(options_.num_threads);
+  ParallelFor(0, targets.size(), /*grain=*/1, [&](size_t lo, size_t hi) {
+    for (size_t t = lo; t < hi; ++t) {
+      SnapshotReport& report = reports[t];
+      report.campaign = targets[t];
+      if (options.deadline_ms > 0.0 &&
+          advance_clock.ElapsedMillis() > options.deadline_ms) {
+        continue;  // deferred: the queue keeps accumulating
+      }
+      Campaign& c = *campaigns_[targets[t]];
+      ScopedSerialKernels serial_fit;
+      const Stopwatch fit_clock;
+      report.data = c.builder.EmitSnapshot(*c.corpus, c.pending_label_day);
+      report.result =
+          c.solver.Solve(report.data, &c.state, &report.info, &c.workspace);
+      report.solve_ms = fit_clock.ElapsedMillis();
+      report.fitted = true;
+    }
+  });
+  std::sort(reports.begin(), reports.end(),
+            [](const SnapshotReport& a, const SnapshotReport& b) {
+              return a.campaign < b.campaign;
+            });
+  return reports;
+}
+
+}  // namespace serving
+}  // namespace triclust

@@ -1,0 +1,166 @@
+#ifndef TRICLUST_SRC_SERVING_CAMPAIGN_ENGINE_H_
+#define TRICLUST_SRC_SERVING_CAMPAIGN_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/result.h"
+#include "src/core/snapshot_solver.h"
+#include "src/core/stream_state.h"
+#include "src/core/updates.h"
+#include "src/data/corpus.h"
+#include "src/data/matrix_builder.h"
+#include "src/matrix/dense_matrix.h"
+
+namespace triclust {
+namespace serving {
+
+/// Serves N independent online tri-clustering campaigns from one process.
+///
+/// Each campaign owns the full per-stream trio — an incremental
+/// MatrixBuilder (pending-snapshot ingestion), a StreamState, and a
+/// persistent UpdateWorkspace — plus a stateless SnapshotSolver over its
+/// config and lexicon prior. Ingest() queues tweets in O(new tweets);
+/// Advance() emits every pending snapshot and shards the per-snapshot fits
+/// across the process thread pool (the fits are independent given each
+/// campaign's window aggregates, so they parallelize without coordination).
+///
+/// Determinism: every sharded fit runs its kernels on the exact serial code
+/// path (ScopedSerialKernels), so each campaign's results are bit-identical
+/// to a standalone OnlineTriClusterer with num_threads = 1 processing the
+/// same snapshots — regardless of how many campaigns advanced together,
+/// the engine's thread budget, or which pool thread ran the fit.
+/// Parallelism comes from fitting campaigns concurrently, not from
+/// splitting rows within a fit.
+///
+/// Deadlines: Advance() accepts a soft deadline. A campaign whose fit has
+/// not *started* by the deadline is skipped — its pending tweets stay
+/// queued and simply accumulate into a larger snapshot for the next
+/// Advance(), mirroring how the paper's per-day snapshots batch whatever
+/// arrived in the interval. The fit order rotates across Advance() calls
+/// so sustained deadline pressure spreads deferrals over the fleet rather
+/// than starving the highest campaign ids; beyond that, which campaigns
+/// get deferred depends on scheduling — the per-campaign results never do.
+///
+/// Thread safety: the engine itself is confined to one caller thread
+/// (Ingest/Advance are not re-entrant); internal concurrency is the
+/// engine's job. Advance() additionally installs the engine's thread
+/// budget into the PROCESS-GLOBAL kernel setting for its duration (see
+/// parallel.h) — running unrelated solver fits on other threads of the
+/// same process concurrently with Advance() is unsupported, exactly as two
+/// concurrent standalone fits already are. Per-fit budget plumbing that
+/// lifts this restriction is a ROADMAP item.
+struct EngineOptions {
+  /// Thread budget for sharding campaign fits across the pool:
+  /// 0 = hardware concurrency, 1 = fit campaigns sequentially.
+  int num_threads = 0;
+};
+
+struct AdvanceOptions {
+  /// Soft deadline in milliseconds from the start of Advance(); fits not
+  /// started by then are deferred with their queue intact. ≤ 0 = none.
+  double deadline_ms = 0.0;
+  /// Also advance campaigns with an empty queue (their snapshot is empty
+  /// and carries the feature state forward) — keeps every campaign's
+  /// timestep aligned with wall-clock days even through quiet periods.
+  bool include_idle = false;
+};
+
+class CampaignEngine {
+ public:
+  using Options = EngineOptions;
+
+  explicit CampaignEngine(Options options = Options());
+  CampaignEngine(const CampaignEngine&) = delete;
+  CampaignEngine& operator=(const CampaignEngine&) = delete;
+
+  /// Registers a campaign and returns its id (dense, in registration
+  /// order). `builder` must already be Fit and `sf0` built over its
+  /// vocabulary; `corpus` is not owned and must outlive the engine.
+  /// Campaign names must be unique (they key persistence — see
+  /// CampaignStore).
+  size_t AddCampaign(std::string name, OnlineConfig config, DenseMatrix sf0,
+                     MatrixBuilder builder, const Corpus* corpus);
+
+  size_t num_campaigns() const { return campaigns_.size(); }
+  const std::string& name(size_t campaign) const;
+  /// Id of the campaign with `name`, or -1 when unknown.
+  ptrdiff_t FindCampaign(const std::string& name) const;
+
+  /// Queues tweets for the campaign's next snapshot, vectorizing each once
+  /// (O(new tweets)). `label_day` is the temporal ground-truth day used for
+  /// the snapshot's user labels (-1 = static labels); the last value queued
+  /// before an Advance wins.
+  void Ingest(size_t campaign, const std::vector<size_t>& tweet_ids,
+              int label_day = -1);
+
+  /// Tweets queued for the campaign since its last fitted snapshot.
+  size_t num_pending(size_t campaign) const;
+
+  /// Snapshots processed so far by the campaign.
+  int timestep(size_t campaign) const;
+
+  /// Latest known sentiment row of a corpus user within a campaign.
+  std::vector<double> UserSentiment(size_t campaign,
+                                    size_t corpus_user_id) const;
+
+  /// The campaign's stream state / solver (CampaignStore reads these).
+  const StreamState& state(size_t campaign) const;
+  const SnapshotSolver& solver(size_t campaign) const;
+
+  /// Replaces a campaign's stream state (CampaignStore restore path). The
+  /// state must be dimensionally consistent with the campaign's sf0 —
+  /// StreamState::Read validates this.
+  void set_state(size_t campaign, StreamState state);
+
+  /// Outcome of one campaign's snapshot within an Advance() call.
+  struct SnapshotReport {
+    size_t campaign = 0;
+    /// False when the deadline deferred this fit (queue left intact).
+    bool fitted = false;
+    /// The emitted snapshot (row-id maps and labels for the caller).
+    DatasetMatrices data;
+    TriClusterResult result;
+    SnapshotSolver::SolveInfo info;
+    /// Wall-clock cost of emit + fit, for load reporting.
+    double solve_ms = 0.0;
+  };
+
+  /// Advances every campaign with pending tweets (and idle ones when
+  /// requested) by exactly one snapshot, sharding fits across the pool.
+  /// Reports are ordered by campaign id.
+  std::vector<SnapshotReport> Advance(
+      const AdvanceOptions& options = AdvanceOptions());
+
+ private:
+  /// Everything one campaign owns: ingestion, solver inputs, stream state,
+  /// and scratch. unique_ptr keeps addresses stable across registration.
+  struct Campaign {
+    Campaign(std::string name, OnlineConfig config, DenseMatrix sf0,
+             MatrixBuilder builder, const Corpus* corpus)
+        : name(std::move(name)),
+          solver(config, std::move(sf0)),
+          builder(std::move(builder)),
+          corpus(corpus) {}
+
+    std::string name;
+    SnapshotSolver solver;
+    MatrixBuilder builder;
+    const Corpus* corpus;
+    StreamState state;
+    update::UpdateWorkspace workspace;
+    int pending_label_day = -1;
+  };
+
+  Options options_;
+  std::vector<std::unique_ptr<Campaign>> campaigns_;
+  /// Advance() calls so far; rotates the fit order for deadline fairness.
+  uint64_t advance_count_ = 0;
+};
+
+}  // namespace serving
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_SERVING_CAMPAIGN_ENGINE_H_

@@ -1,0 +1,184 @@
+#include "src/serving/campaign_store.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "src/core/stream_state.h"
+#include "src/util/file_util.h"
+
+namespace triclust {
+namespace serving {
+
+namespace {
+
+/// Checkpoint filenames carry the store generation so a Save never
+/// overwrites the files the committed manifest still points to: a crash at
+/// any point leaves the previous generation fully intact, with at worst
+/// some orphaned next-generation files (reclaimed by the next Save).
+std::string CampaignFileName(size_t index, uint64_t generation) {
+  return "campaign_" + std::to_string(index) + ".g" +
+         std::to_string(generation) + ".ckpt";
+}
+
+struct ManifestEntry {
+  std::string filename;
+  int timestep = 0;
+  std::string name;
+};
+
+struct Manifest {
+  uint64_t generation = 0;
+  std::vector<ManifestEntry> entries;
+};
+
+Result<Manifest> ReadManifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open manifest: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != "triclust-campaign-store 1") {
+    return Status::ParseError("bad store header: " + line);
+  }
+  Manifest manifest;
+  size_t count = 0;
+  if (!std::getline(in, line) ||
+      !(std::istringstream(line) >> manifest.generation >> count)) {
+    return Status::ParseError("malformed generation/count line: " + line);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::ParseError("manifest truncated");
+    }
+    std::istringstream fields(line);
+    ManifestEntry entry;
+    if (!(fields >> entry.filename >> entry.timestep)) {
+      return Status::ParseError("malformed manifest entry: " + line);
+    }
+    std::getline(fields, entry.name);
+    if (!entry.name.empty() && entry.name.front() == ' ') {
+      entry.name.erase(0, 1);
+    }
+    if (entry.name.empty()) {
+      return Status::ParseError("manifest entry has no name: " + line);
+    }
+    manifest.entries.push_back(std::move(entry));
+  }
+  return manifest;
+}
+
+}  // namespace
+
+CampaignStore::CampaignStore(std::string directory)
+    : directory_(std::move(directory)) {}
+
+std::string CampaignStore::ManifestPath() const {
+  return directory_ + "/MANIFEST";
+}
+
+bool CampaignStore::HasManifest() const {
+  return PathExists(ManifestPath());
+}
+
+Status CampaignStore::Save(const CampaignEngine& engine) const {
+  TRICLUST_RETURN_IF_ERROR(CreateDirectories(directory_));
+
+  // The previous generation (if any) stays untouched until the manifest
+  // rename commits the new one; its files are only reclaimed afterwards.
+  // A manifest that exists but cannot be read must abort the save: guessing
+  // a generation could collide with files the committed manifest still
+  // points to.
+  Manifest previous;
+  if (HasManifest()) {
+    TRICLUST_ASSIGN_OR_RETURN(previous, ReadManifest(ManifestPath()));
+  }
+  const uint64_t generation = previous.generation + 1;
+
+  // New-generation state files first, manifest rename last (commit point).
+  for (size_t i = 0; i < engine.num_campaigns(); ++i) {
+    const StreamState& state = engine.state(i);
+    TRICLUST_RETURN_IF_ERROR(AtomicWriteFile(
+        directory_ + "/" + CampaignFileName(i, generation),
+        [&state](std::ostream* os) { return state.Write(os); }));
+  }
+  TRICLUST_RETURN_IF_ERROR(
+      AtomicWriteFile(ManifestPath(), [&engine, generation](std::ostream* os) {
+        std::ostream& out = *os;
+        out << "triclust-campaign-store 1\n";
+        out << generation << " " << engine.num_campaigns() << "\n";
+        for (size_t i = 0; i < engine.num_campaigns(); ++i) {
+          out << CampaignFileName(i, generation) << " "
+              << engine.state(i).timestep << " " << engine.name(i) << "\n";
+        }
+        if (!out) return Status::IoError("manifest write failed");
+        return Status::OK();
+      }));
+
+  // Best-effort reclamation: scan for files the committed manifest does
+  // not reference — superseded generations, orphans left by crashes
+  // between past commits and their cleanup, and stale AtomicWriteFile
+  // temporaries (".tmp.<pid>") from crashed writers. Safe because the
+  // store has a single writer (see header): nothing else can have an
+  // in-flight temp here.
+  auto listing = ListDirectory(directory_);
+  if (listing.ok()) {
+    for (const std::string& name : listing.value()) {
+      bool reclaim = false;
+      if (name.compare(0, 13, "MANIFEST.tmp.") == 0) {
+        reclaim = true;
+      } else if (name.compare(0, 9, "campaign_") == 0) {
+        if (name.find(".ckpt.tmp.") != std::string::npos) {
+          reclaim = true;
+        } else if (name.size() >= 5 &&
+                   name.compare(name.size() - 5, 5, ".ckpt") == 0) {
+          reclaim = true;
+          for (size_t i = 0; i < engine.num_campaigns(); ++i) {
+            if (name == CampaignFileName(i, generation)) {
+              reclaim = false;
+              break;
+            }
+          }
+        }
+      }
+      if (reclaim) std::remove((directory_ + "/" + name).c_str());
+    }
+  }
+  return Status::OK();
+}
+
+Status CampaignStore::Restore(CampaignEngine* engine) const {
+  TRICLUST_ASSIGN_OR_RETURN(const Manifest manifest,
+                            ReadManifest(ManifestPath()));
+
+  // Stage every state first so a mid-list failure cannot leave the engine
+  // half-restored (some campaigns at the stored generation, others fresh).
+  std::vector<std::pair<size_t, StreamState>> staged;
+  staged.reserve(manifest.entries.size());
+  for (const ManifestEntry& entry : manifest.entries) {
+    const ptrdiff_t campaign = engine->FindCampaign(entry.name);
+    if (campaign < 0) {
+      return Status::NotFound("stored campaign not registered: " +
+                              entry.name);
+    }
+    const std::string path = directory_ + "/" + entry.filename;
+    std::ifstream in(path);
+    if (!in) return Status::IoError("cannot open for reading: " + path);
+    const DenseMatrix& sf0 =
+        engine->solver(static_cast<size_t>(campaign)).sf0();
+    TRICLUST_ASSIGN_OR_RETURN(
+        StreamState state, StreamState::Read(&in, sf0.rows(), sf0.cols()));
+    if (state.timestep != entry.timestep) {
+      return Status::ParseError("manifest timestep disagrees with state: " +
+                                entry.name);
+    }
+    staged.emplace_back(static_cast<size_t>(campaign), std::move(state));
+  }
+  for (auto& [campaign, state] : staged) {
+    engine->set_state(campaign, std::move(state));
+  }
+  return Status::OK();
+}
+
+}  // namespace serving
+}  // namespace triclust

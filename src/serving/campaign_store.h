@@ -1,0 +1,66 @@
+#ifndef TRICLUST_SRC_SERVING_CAMPAIGN_STORE_H_
+#define TRICLUST_SRC_SERVING_CAMPAIGN_STORE_H_
+
+#include <string>
+
+#include "src/serving/campaign_engine.h"
+#include "src/util/status.h"
+
+namespace triclust {
+namespace serving {
+
+/// Durable storage for a CampaignEngine's stream states.
+///
+/// Layout: one directory holding a `MANIFEST` plus one checkpoint file per
+/// campaign (the `triclust-online-state 1` text format of StreamState, the
+/// same one OnlineTriClusterer::SaveState writes). Checkpoint filenames
+/// carry a store *generation*, so a Save writes an entirely new file set
+/// and never touches the files the committed manifest points to; the
+/// manifest replacement (write-temp-then-fsync-then-rename) is the single
+/// commit point. A crash at any moment therefore leaves the directory
+/// describing a complete, mutually-consistent generation — the previous
+/// one until the final rename, the new one after (plus, at worst, orphaned
+/// files of an uncommitted generation, reclaimed by the next Save).
+///
+/// Campaigns are keyed by name. Configs, lexicon priors, corpora, and
+/// *pending ingestion queues* are not persisted (the state contract
+/// matches OnlineTriClusterer::SaveState): register the campaigns first,
+/// then Restore() into them, and either Advance() before Save() or
+/// re-Ingest un-advanced tweets after a restore — tweets queued but not
+/// yet fitted at Save time are not part of any snapshot.
+///
+/// A store directory must have a single writer at a time (Save also
+/// reclaims unreferenced checkpoint/temp files, which would race a
+/// concurrent writer); concurrent Restore() readers are fine.
+class CampaignStore {
+ public:
+  /// `directory` is created on the first Save().
+  explicit CampaignStore(std::string directory);
+
+  /// Persists every campaign state of `engine`. Atomic per the class
+  /// comment; a failure before the manifest rename leaves the previous
+  /// generation fully intact.
+  Status Save(const CampaignEngine& engine) const;
+
+  /// Restores every stored campaign into the engine campaign of the same
+  /// name, validating dimensions against that campaign's sf0. Engine
+  /// campaigns absent from the store keep their current state; a stored
+  /// campaign with no registered counterpart is an error (its history
+  /// would otherwise be silently dropped).
+  Status Restore(CampaignEngine* engine) const;
+
+  /// True when the directory holds a committed manifest.
+  bool HasManifest() const;
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  std::string ManifestPath() const;
+
+  std::string directory_;
+};
+
+}  // namespace serving
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_SERVING_CAMPAIGN_STORE_H_

@@ -1,0 +1,114 @@
+#include "src/util/file_util.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace triclust {
+
+namespace {
+
+/// fsync the file (or directory) at `path` via a fresh descriptor. POSIX
+/// flushes the *file's* data for any descriptor of it, so syncing after the
+/// ofstream closed is sufficient.
+Status SyncPath(const std::string& path) {
+  const int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open for fsync: " + path);
+  const int rc = fsync(fd);
+  close(fd);
+  if (rc != 0) return Status::IoError("fsync failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::function<Status(std::ostream*)>& writer) {
+  // Pid-unique temp name: concurrent writers in *different* processes
+  // degrade to last-rename-wins instead of tearing each other's temp file.
+  // (Two threads of one process writing the same path remain unsupported —
+  // see the header contract.)
+  const std::string temp_path =
+      path + ".tmp." + std::to_string(getpid());
+  {
+    std::ofstream out(temp_path, std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open for writing: " + temp_path);
+    }
+    Status status = writer(&out);
+    if (status.ok()) {
+      out.flush();
+      if (!out) status = Status::IoError("write failed: " + temp_path);
+    }
+    if (!status.ok()) {
+      out.close();
+      std::remove(temp_path.c_str());
+      return status;
+    }
+  }  // close before sync/rename so the contents are fully handed to the OS
+  // Data must be durable *before* the rename is journaled, or a power loss
+  // could commit the new name pointing at truncated data (delayed
+  // allocation) while the previous contents are already gone.
+  Status synced = SyncPath(temp_path);
+  if (!synced.ok()) {
+    std::remove(temp_path.c_str());
+    return synced;
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    std::remove(temp_path.c_str());
+    return Status::IoError("rename failed: " + temp_path + " -> " + path);
+  }
+  // Make the rename itself durable (directory entry update).
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash);
+  return SyncPath(dir.empty() ? "/" : dir);
+}
+
+Status CreateDirectories(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  // Walk the path left to right, creating each component (mkdir -p).
+  std::string prefix;
+  size_t pos = 0;
+  while (pos != std::string::npos) {
+    const size_t next = path.find('/', pos + 1);
+    prefix = next == std::string::npos ? path : path.substr(0, next);
+    pos = next;
+    if (prefix.empty() || prefix == "/" || prefix == ".") continue;
+    if (mkdir(prefix.c_str(), 0755) != 0) {
+      struct stat st;
+      if (stat(prefix.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+        return Status::IoError("cannot create directory: " + prefix);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return stat(path.c_str(), &st) == 0;
+}
+
+Result<std::vector<std::string>> ListDirectory(const std::string& path) {
+  DIR* dir = opendir(path.c_str());
+  if (dir == nullptr) {
+    return Status::IoError("cannot open directory: " + path);
+  }
+  std::vector<std::string> names;
+  while (const dirent* entry = readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  closedir(dir);
+  return names;
+}
+
+}  // namespace triclust

@@ -1,0 +1,41 @@
+#ifndef TRICLUST_SRC_UTIL_FILE_UTIL_H_
+#define TRICLUST_SRC_UTIL_FILE_UTIL_H_
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace triclust {
+
+/// Crash-safe file replacement: runs `writer` against a pid-unique
+/// temporary next to `path` (path + ".tmp.<pid>"), fsyncs it, then renames
+/// it over `path` only after the write completed and reached disk, and
+/// finally fsyncs the parent directory. A crash — or a writer error — at
+/// any point leaves the previous contents of `path` intact; the temporary
+/// is removed on failure. rename(2) on the same filesystem is atomic, so
+/// readers never observe a half-written file.
+///
+/// Concurrent writers of the same `path` in different processes degrade to
+/// last-rename-wins (never a torn file); two threads of one process
+/// writing the same path are not supported — checkpoint writers are
+/// expected to be exclusive per path within a process.
+Status AtomicWriteFile(const std::string& path,
+                       const std::function<Status(std::ostream*)>& writer);
+
+/// Creates `path` and any missing parents (mkdir -p). OK when it already
+/// exists as a directory.
+Status CreateDirectories(const std::string& path);
+
+/// True when `path` exists (any file type).
+bool PathExists(const std::string& path);
+
+/// Names of the entries in directory `path` (excluding "." and ".."), in
+/// unspecified order.
+Result<std::vector<std::string>> ListDirectory(const std::string& path);
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_UTIL_FILE_UTIL_H_

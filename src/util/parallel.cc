@@ -150,6 +150,15 @@ ScopedNumThreads::ScopedNumThreads(int n) : previous_(GetNumThreads()) {
 
 ScopedNumThreads::~ScopedNumThreads() { SetNumThreads(previous_); }
 
+ScopedSerialKernels::ScopedSerialKernels()
+    : previous_(t_in_parallel_region) {
+  t_in_parallel_region = true;
+}
+
+ScopedSerialKernels::~ScopedSerialKernels() {
+  t_in_parallel_region = previous_;
+}
+
 void ParallelFor(size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t, size_t)>& body) {
   if (begin >= end) return;

@@ -59,6 +59,29 @@ class ScopedNumThreads {
   int previous_;
 };
 
+/// RAII: forces every kernel call made by the *current thread* onto the
+/// exact serial code path for the scope's lifetime — the same path as a
+/// thread budget of 1 — regardless of the process-wide setting. Nested
+/// scopes compose (the previous mode is restored on destruction).
+///
+/// This is how the serving layer runs many independent campaign fits
+/// concurrently without touching the process-global budget: each sharded
+/// fit wraps itself in a ScopedSerialKernels, so its kernels are
+/// bit-identical to a standalone num_threads = 1 fit whether the fit runs
+/// inline, on a pool worker, or next to seven sibling fits. (Kernels
+/// running *inside* a pool job already degrade to serial; this scope makes
+/// that guarantee explicit and independent of how the fit was scheduled.)
+class ScopedSerialKernels {
+ public:
+  ScopedSerialKernels();
+  ~ScopedSerialKernels();
+  ScopedSerialKernels(const ScopedSerialKernels&) = delete;
+  ScopedSerialKernels& operator=(const ScopedSerialKernels&) = delete;
+
+ private:
+  bool previous_;
+};
+
 /// Runs body(chunk_begin, chunk_end) over disjoint sub-ranges covering
 /// [begin, end). `grain` is the minimum chunk size (load-balancing hint;
 /// does not affect results for disjoint-output bodies). With an effective

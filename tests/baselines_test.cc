@@ -200,6 +200,27 @@ TEST(LabelPropagationTest, MoreSeedsHelpOnCampaign) {
   EXPECT_GE(acc10 + 0.08, acc5);  // typically better, always comparable
 }
 
+TEST(LabelPropagationTest, ThreadedMatchesSerialBitwise) {
+  // The propagation kernels are row-partitioned SpMMs (the bipartite form
+  // goes through a cached transpose), so every thread budget must produce
+  // the serial predictions exactly.
+  const SmallProblem p = MakeSmallProblem();
+  const auto seeds = SampleSeedLabels(p.data.tweet_labels, 0.10, 7);
+  LabelPropagationOptions serial;
+  serial.num_threads = 1;
+  const auto expected_items = PropagateBipartite(p.data.xp, seeds, serial);
+  const auto user_seeds = SampleSeedLabels(p.data.user_labels, 0.2, 7);
+  const auto expected_users = PropagateGraph(p.data.gu, user_seeds, serial);
+  for (const int threads : {0, 2, 4}) {
+    LabelPropagationOptions options;
+    options.num_threads = threads;
+    EXPECT_EQ(PropagateBipartite(p.data.xp, seeds, options), expected_items)
+        << "threads=" << threads;
+    EXPECT_EQ(PropagateGraph(p.data.gu, user_seeds, options), expected_users)
+        << "threads=" << threads;
+  }
+}
+
 // --- UserReg -----------------------------------------------------------------
 
 TEST(UserRegTest, ProducesPredictionsAtBothLevels) {
@@ -227,6 +248,23 @@ TEST(UserRegTest, SocialSmoothingChangesIsolatedNothing) {
   const UserRegResult b = RunUserReg(p.data, seeds, with_social);
   // Both valid; outputs differ somewhere (the graph matters).
   EXPECT_NE(a.user_predictions, b.user_predictions);
+}
+
+TEST(UserRegTest, ThreadedMatchesSerialBitwise) {
+  const SmallProblem p = MakeSmallProblem();
+  const auto seeds = SampleSeedLabels(p.data.tweet_labels, 0.10, 3);
+  UserRegOptions serial;
+  serial.num_threads = 1;
+  const UserRegResult expected = RunUserReg(p.data, seeds, serial);
+  for (const int threads : {0, 2, 4}) {
+    UserRegOptions options;
+    options.num_threads = threads;
+    const UserRegResult got = RunUserReg(p.data, seeds, options);
+    EXPECT_EQ(got.tweet_predictions, expected.tweet_predictions)
+        << "threads=" << threads;
+    EXPECT_EQ(got.user_predictions, expected.user_predictions)
+        << "threads=" << threads;
+  }
 }
 
 // --- ESSA --------------------------------------------------------------------

@@ -132,6 +132,87 @@ TEST(MatrixBuilderTest, WorksOnSyntheticCampaign) {
   for (double v : colsum) EXPECT_GE(v, 1.0);
 }
 
+// --- incremental ingestion ----------------------------------------------------
+
+void ExpectSameSparse(const SparseMatrix& a, const SparseMatrix& b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(a.row_ptr(), b.row_ptr());
+  EXPECT_EQ(a.col_idx(), b.col_idx());
+  EXPECT_EQ(a.values(), b.values());
+}
+
+void ExpectSameDataset(const DatasetMatrices& got,
+                       const DatasetMatrices& expected) {
+  ExpectSameSparse(got.xp, expected.xp);
+  ExpectSameSparse(got.xu, expected.xu);
+  ExpectSameSparse(got.xr, expected.xr);
+  ExpectSameSparse(got.gu.adjacency(), expected.gu.adjacency());
+  EXPECT_EQ(got.tweet_ids, expected.tweet_ids);
+  EXPECT_EQ(got.user_ids, expected.user_ids);
+  EXPECT_EQ(got.tweet_labels, expected.tweet_labels);
+  EXPECT_EQ(got.user_labels, expected.user_labels);
+}
+
+TEST(MatrixBuilderTest, EmitSnapshotMatchesBuildBitwise) {
+  const auto d = testing_util::SmallCampaign();
+  MatrixBuilder builder;
+  builder.Fit(d.corpus);
+  for (const Snapshot& day : SplitByDay(d.corpus)) {
+    const DatasetMatrices expected =
+        builder.Build(d.corpus, day.tweet_ids, day.last_day);
+    builder.Append(d.corpus, day.tweet_ids);
+    EXPECT_EQ(builder.num_pending(), day.tweet_ids.size());
+    const DatasetMatrices got =
+        builder.EmitSnapshot(d.corpus, day.last_day);
+    EXPECT_EQ(builder.num_pending(), 0u);
+    ExpectSameDataset(got, expected);
+  }
+}
+
+TEST(MatrixBuilderTest, AppendAccumulatesAcrossBatches) {
+  // Several small Ingest-style batches must emit the same snapshot as one
+  // Build over the concatenated ids.
+  const Corpus c = MiniCorpus();
+  MatrixBuilder builder;
+  builder.Fit(c);
+  builder.Append(c, {0, 1});
+  builder.Append(c, 2);
+  builder.Append(c, {3});
+  EXPECT_EQ(builder.num_pending(), 4u);
+  const DatasetMatrices got = builder.EmitSnapshot(c);
+  const DatasetMatrices expected = builder.Build(c, {0, 1, 2, 3});
+  ExpectSameDataset(got, expected);
+}
+
+TEST(MatrixBuilderTest, AppendTokenizesTweetsArrivedAfterFit) {
+  Corpus c = MiniCorpus();
+  MatrixBuilder builder;
+  builder.Fit(c);
+  const size_t vocab = builder.vocabulary().size();
+  // A tweet that arrives after Fit: in-vocabulary tokens land in the fixed
+  // feature space, unseen ones drop out.
+  const size_t dave = c.AddUser("dave");
+  const size_t late = c.AddTweet(dave, 2, "love labeling brandnewword");
+  builder.Append(c, late);
+  const DatasetMatrices got = builder.EmitSnapshot(c, -1);
+  EXPECT_EQ(got.num_tweets(), 1u);
+  EXPECT_EQ(got.xp.cols(), vocab);
+  EXPECT_GT(got.xp.RowNnz(0), 0u);   // known tokens mapped
+  EXPECT_LE(got.xp.RowNnz(0), 2u);   // "brandnewword" dropped
+  EXPECT_EQ(got.user_ids, (std::vector<size_t>{dave}));
+}
+
+TEST(MatrixBuilderTest, EmitEmptyPendingYieldsEmptySnapshot) {
+  const Corpus c = MiniCorpus();
+  MatrixBuilder builder;
+  builder.Fit(c);
+  const DatasetMatrices got = builder.EmitSnapshot(c);
+  EXPECT_EQ(got.num_tweets(), 0u);
+  EXPECT_EQ(got.num_users(), 0u);
+  EXPECT_EQ(got.xp.cols(), builder.vocabulary().size());
+}
+
 // --- snapshots ---------------------------------------------------------------
 
 TEST(SnapshotsTest, SplitByDayCoversEveryTweetOnce) {

@@ -1,0 +1,469 @@
+/// Tests of the serving layer: the stateless SnapshotSolver against the
+/// legacy single-stream wrapper, the multi-campaign CampaignEngine against
+/// standalone clusterers, and the CampaignStore persistence contract.
+
+#include "src/serving/campaign_engine.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/online.h"
+#include "src/core/snapshot_solver.h"
+#include "src/core/stream_state.h"
+#include "src/data/snapshots.h"
+#include "src/serving/campaign_store.h"
+#include "src/util/file_util.h"
+#include "tests/test_util.h"
+
+namespace triclust {
+namespace {
+
+using testing_util::MakeSmallProblem;
+using testing_util::SmallProblem;
+
+OnlineConfig FastConfig() {
+  OnlineConfig config;
+  config.base.max_iterations = 15;
+  config.base.track_loss = false;
+  return config;
+}
+
+/// One self-contained campaign fixture over its own synthetic stream.
+struct Fixture {
+  SmallProblem problem;
+  std::vector<Snapshot> days;
+};
+
+Fixture MakeFixture(uint64_t seed) {
+  Fixture f{MakeSmallProblem(seed), {}};
+  f.days = SplitByDay(f.problem.dataset.corpus);
+  return f;
+}
+
+void ExpectSameFactors(const TriClusterResult& got,
+                       const TriClusterResult& expected,
+                       const std::string& context) {
+  EXPECT_EQ(got.sp, expected.sp) << context;
+  EXPECT_EQ(got.su, expected.su) << context;
+  EXPECT_EQ(got.sf, expected.sf) << context;
+  EXPECT_EQ(got.hp, expected.hp) << context;
+  EXPECT_EQ(got.hu, expected.hu) << context;
+}
+
+// --- SnapshotSolver vs legacy wrapper ----------------------------------------
+
+TEST(SnapshotSolverTest, BitwiseMatchesLegacyClustererOverStream) {
+  const Fixture f = MakeFixture(5);
+  const Corpus& corpus = f.problem.dataset.corpus;
+
+  OnlineTriClusterer legacy(FastConfig(), f.problem.sf0);
+  const SnapshotSolver solver(FastConfig(), f.problem.sf0);
+  StreamState state;
+  update::UpdateWorkspace workspace;
+
+  for (size_t day = 0; day < f.days.size(); ++day) {
+    const DatasetMatrices data = f.problem.builder.Build(
+        corpus, f.days[day].tweet_ids, f.days[day].last_day);
+    const TriClusterResult expected = legacy.ProcessSnapshot(data);
+    SnapshotSolver::SolveInfo info;
+    const TriClusterResult got = solver.Solve(data, &state, &info, &workspace);
+    ExpectSameFactors(got, expected, "day " + std::to_string(day));
+    EXPECT_EQ(info.sfw, legacy.last_sfw()) << "day " << day;
+    EXPECT_EQ(info.partition.new_rows, legacy.last_partition().new_rows);
+    EXPECT_EQ(info.partition.evolving_rows,
+              legacy.last_partition().evolving_rows);
+    EXPECT_EQ(info.partition.num_disappeared,
+              legacy.last_partition().num_disappeared);
+    EXPECT_EQ(state.timestep, legacy.timestep());
+  }
+  // The rolled-forward stream state agrees too.
+  for (size_t user = 0; user < corpus.num_users(); ++user) {
+    EXPECT_EQ(state.UserSentiment(user), legacy.UserSentiment(user));
+  }
+}
+
+TEST(SnapshotSolverTest, SharedSolverServesIndependentStreams) {
+  // One solver instance, two interleaved streams with their own states:
+  // interleaving must not leak state between them.
+  const Fixture f = MakeFixture(5);
+  const Corpus& corpus = f.problem.dataset.corpus;
+  const SnapshotSolver solver(FastConfig(), f.problem.sf0);
+
+  StreamState sequential;
+  std::vector<TriClusterResult> expected;
+  for (size_t day = 0; day < 3; ++day) {
+    const DatasetMatrices data = f.problem.builder.Build(
+        corpus, f.days[day].tweet_ids, f.days[day].last_day);
+    expected.push_back(solver.Solve(data, &sequential));
+  }
+
+  StreamState a;
+  StreamState b;
+  for (size_t day = 0; day < 3; ++day) {
+    const DatasetMatrices data = f.problem.builder.Build(
+        corpus, f.days[day].tweet_ids, f.days[day].last_day);
+    const TriClusterResult ra = solver.Solve(data, &a);
+    const TriClusterResult rb = solver.Solve(data, &b);
+    ExpectSameFactors(ra, expected[day], "stream a, day " +
+                                             std::to_string(day));
+    ExpectSameFactors(rb, expected[day], "stream b, day " +
+                                             std::to_string(day));
+  }
+}
+
+TEST(SnapshotSolverTest, EmptySnapshotCarriesFeatureStateWithWindowOne) {
+  // Regression: the historical empty-snapshot path trimmed the Sf history
+  // to window-1 entries (not max(window-1, 1) like the main path), so with
+  // window == 1 a single quiet day erased the evolved feature state.
+  const Fixture f = MakeFixture(5);
+  OnlineConfig config = FastConfig();
+  config.window = 1;
+  const SnapshotSolver solver(config, f.problem.sf0);
+  StreamState state;
+  solver.Solve(f.problem.builder.Build(f.problem.dataset.corpus,
+                                       f.days[0].tweet_ids, 0),
+               &state);
+  ASSERT_EQ(state.sf_history.size(), 1u);
+
+  DatasetMatrices empty;
+  {
+    SparseMatrix::Builder xp(0, f.problem.data.num_features());
+    empty.xp = xp.Build();
+    SparseMatrix::Builder xu(0, f.problem.data.num_features());
+    empty.xu = xu.Build();
+    SparseMatrix::Builder xr(0, 0);
+    empty.xr = xr.Build();
+    empty.gu = UserGraph(0);
+  }
+  solver.Solve(empty, &state);
+  EXPECT_EQ(state.timestep, 2);
+  ASSERT_EQ(state.sf_history.size(), 1u);  // history survives the quiet day
+  // With an emptied history (the old bug) this would be exactly sf0 again.
+  EXPECT_FALSE(solver.ComputeSfw(state) == f.problem.sf0);
+}
+
+// --- CampaignEngine ----------------------------------------------------------
+
+TEST(CampaignEngineTest, FourCampaignsMatchFourStandaloneClusterers) {
+  // Four campaigns over four *different* streams, advanced together with
+  // sharded fits, must be bitwise-identical to four standalone
+  // OnlineTriClusterer runs (same configs/seeds) done one at a time.
+  std::vector<Fixture> fixtures;
+  for (uint64_t seed : {5, 6, 7, 8}) fixtures.push_back(MakeFixture(seed));
+
+  // Standalone reference runs (serial kernels, the num_threads=1 default).
+  std::vector<std::vector<TriClusterResult>> expected(fixtures.size());
+  for (size_t i = 0; i < fixtures.size(); ++i) {
+    OnlineTriClusterer standalone(FastConfig(), fixtures[i].problem.sf0);
+    for (const Snapshot& day : fixtures[i].days) {
+      expected[i].push_back(standalone.ProcessSnapshot(
+          fixtures[i].problem.builder.Build(fixtures[i].problem.dataset.corpus,
+                                            day.tweet_ids, day.last_day)));
+    }
+  }
+
+  serving::CampaignEngine::Options options;
+  options.num_threads = 4;
+  serving::CampaignEngine engine(options);
+  for (size_t i = 0; i < fixtures.size(); ++i) {
+    engine.AddCampaign("campaign-" + std::to_string(i), FastConfig(),
+                       fixtures[i].problem.sf0, fixtures[i].problem.builder,
+                       &fixtures[i].problem.dataset.corpus);
+  }
+
+  size_t max_days = 0;
+  for (const Fixture& f : fixtures) {
+    max_days = std::max(max_days, f.days.size());
+  }
+  for (size_t day = 0; day < max_days; ++day) {
+    for (size_t i = 0; i < fixtures.size(); ++i) {
+      if (day < fixtures[i].days.size()) {
+        engine.Ingest(i, fixtures[i].days[day].tweet_ids,
+                      static_cast<int>(day));
+      }
+    }
+    serving::AdvanceOptions advance;
+    advance.include_idle = true;
+    const auto reports = engine.Advance(advance);
+    ASSERT_EQ(reports.size(), fixtures.size());
+    for (const auto& report : reports) {
+      ASSERT_TRUE(report.fitted);
+      ASSERT_LT(day, expected[report.campaign].size());
+      ExpectSameFactors(report.result, expected[report.campaign][day],
+                        "campaign " + std::to_string(report.campaign) +
+                            " day " + std::to_string(day));
+    }
+  }
+  for (size_t i = 0; i < fixtures.size(); ++i) {
+    EXPECT_EQ(engine.timestep(i), static_cast<int>(fixtures[i].days.size()));
+  }
+}
+
+TEST(CampaignEngineTest, ResultsIndependentOfEngineThreadBudget) {
+  // The same fleet advanced with 1 thread and with 4 threads (and with a
+  // sibling count that exercises the inline single-fit path) must agree
+  // bitwise.
+  auto run = [](int num_threads) {
+    std::vector<Fixture> fixtures;
+    for (uint64_t seed : {5, 9}) fixtures.push_back(MakeFixture(seed));
+    serving::CampaignEngine::Options options;
+    options.num_threads = num_threads;
+    serving::CampaignEngine engine(options);
+    for (size_t i = 0; i < fixtures.size(); ++i) {
+      engine.AddCampaign("c" + std::to_string(i), FastConfig(),
+                         fixtures[i].problem.sf0, fixtures[i].problem.builder,
+                         &fixtures[i].problem.dataset.corpus);
+    }
+    std::vector<TriClusterResult> results;
+    for (size_t day = 0; day < 3; ++day) {
+      // Campaign 1 only gets data on day 0: later days advance a single
+      // pending campaign, the inline (non-pooled) sharding path.
+      engine.Ingest(0, fixtures[0].days[day].tweet_ids,
+                    static_cast<int>(day));
+      if (day == 0) {
+        engine.Ingest(1, fixtures[1].days[0].tweet_ids, 0);
+      }
+      for (auto& report : engine.Advance()) {
+        results.push_back(std::move(report.result));
+      }
+    }
+    return results;
+  };
+
+  const auto serial = run(1);
+  const auto sharded = run(4);
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ExpectSameFactors(sharded[i], serial[i], "result " + std::to_string(i));
+  }
+}
+
+TEST(CampaignEngineTest, DeadlineDefersFitsAndQueueSurvives) {
+  Fixture f = MakeFixture(5);
+  serving::CampaignEngine engine;
+  engine.AddCampaign("c0", FastConfig(), f.problem.sf0, f.problem.builder,
+                     &f.problem.dataset.corpus);
+
+  engine.Ingest(0, f.days[0].tweet_ids, 0);
+  const size_t pending = engine.num_pending(0);
+  ASSERT_GT(pending, 0u);
+
+  // An (effectively) already-expired deadline defers every fit.
+  serving::AdvanceOptions expired;
+  expired.deadline_ms = 1e-9;
+  const auto deferred = engine.Advance(expired);
+  ASSERT_EQ(deferred.size(), 1u);
+  EXPECT_FALSE(deferred[0].fitted);
+  EXPECT_EQ(engine.num_pending(0), pending);
+  EXPECT_EQ(engine.timestep(0), 0);
+
+  // More tweets accumulate into the same snapshot; the eventual fit sees
+  // the batched ingest exactly as a single larger Ingest would.
+  engine.Ingest(0, f.days[1].tweet_ids, 1);
+  const auto reports = engine.Advance();
+  ASSERT_EQ(reports.size(), 1u);
+  ASSERT_TRUE(reports[0].fitted);
+  EXPECT_EQ(reports[0].data.num_tweets(),
+            f.days[0].tweet_ids.size() + f.days[1].tweet_ids.size());
+  EXPECT_EQ(engine.num_pending(0), 0u);
+  EXPECT_EQ(engine.timestep(0), 1);
+}
+
+// --- CampaignStore -----------------------------------------------------------
+
+/// TempDir() persists across test runs; scrub any prior generation so the
+/// store starts from a clean slate.
+std::string TempStoreDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::remove((dir + "/MANIFEST").c_str());
+  for (int i = 0; i < 16; ++i) {
+    for (int gen = 1; gen <= 8; ++gen) {
+      std::remove((dir + "/campaign_" + std::to_string(i) + ".g" +
+                   std::to_string(gen) + ".ckpt")
+                      .c_str());
+    }
+  }
+  return dir;
+}
+
+TEST(CampaignStoreTest, SaveRestoreRoundTripContinuesBitIdentically) {
+  std::vector<Fixture> fixtures;
+  for (uint64_t seed : {5, 6}) fixtures.push_back(MakeFixture(seed));
+
+  auto make_engine = [&](serving::CampaignEngine* engine) {
+    for (size_t i = 0; i < fixtures.size(); ++i) {
+      engine->AddCampaign("campaign-" + std::to_string(i), FastConfig(),
+                          fixtures[i].problem.sf0,
+                          fixtures[i].problem.builder,
+                          &fixtures[i].problem.dataset.corpus);
+    }
+  };
+  auto ingest_day = [&](serving::CampaignEngine* engine, size_t day) {
+    for (size_t i = 0; i < fixtures.size(); ++i) {
+      engine->Ingest(i, fixtures[i].days[day].tweet_ids,
+                     static_cast<int>(day));
+    }
+  };
+
+  serving::CampaignEngine original;
+  make_engine(&original);
+  for (size_t day = 0; day < 3; ++day) {
+    ingest_day(&original, day);
+    original.Advance();
+  }
+
+  const serving::CampaignStore store(TempStoreDir("round_trip_store"));
+  ASSERT_FALSE(store.HasManifest());
+  ASSERT_TRUE(store.Save(original).ok());
+  ASSERT_TRUE(store.HasManifest());
+
+  serving::CampaignEngine restored;
+  make_engine(&restored);
+  ASSERT_TRUE(store.Restore(&restored).ok());
+  for (size_t i = 0; i < fixtures.size(); ++i) {
+    EXPECT_EQ(restored.timestep(i), 3);
+  }
+
+  // Both engines continue the streams; they must stay in lockstep.
+  for (size_t day = 3; day < 5; ++day) {
+    ingest_day(&original, day);
+    ingest_day(&restored, day);
+    const auto expected = original.Advance();
+    const auto got = restored.Advance();
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t r = 0; r < got.size(); ++r) {
+      ExpectSameFactors(got[r].result, expected[r].result,
+                        "day " + std::to_string(day));
+    }
+  }
+}
+
+TEST(CampaignStoreTest, RepeatedSavesAdvanceGenerationsAndReclaimOld) {
+  Fixture f = MakeFixture(5);
+  serving::CampaignEngine engine;
+  engine.AddCampaign("c0", FastConfig(), f.problem.sf0, f.problem.builder,
+                     &f.problem.dataset.corpus);
+  const std::string dir = TempStoreDir("generation_store");
+  const serving::CampaignStore store(dir);
+
+  engine.Ingest(0, f.days[0].tweet_ids, 0);
+  engine.Advance();
+  ASSERT_TRUE(store.Save(engine).ok());
+  EXPECT_TRUE(PathExists(dir + "/campaign_0.g1.ckpt"));
+
+  // Orphans from a hypothetical crashed save: a committed-but-superseded
+  // checkpoint of another generation and a dead writer's temp file.
+  { std::ofstream orphan(dir + "/campaign_7.g9.ckpt"); orphan << "stale"; }
+  {
+    std::ofstream temp(dir + "/campaign_3.g9.ckpt.tmp.99999");
+    temp << "stale";
+  }
+
+  // A second Save commits a new generation and reclaims every checkpoint
+  // file the new manifest does not reference (old generations + orphans);
+  // the new generation's state wins on Restore.
+  engine.Ingest(0, f.days[1].tweet_ids, 1);
+  engine.Advance();
+  ASSERT_TRUE(store.Save(engine).ok());
+  EXPECT_TRUE(PathExists(dir + "/campaign_0.g2.ckpt"));
+  EXPECT_FALSE(PathExists(dir + "/campaign_0.g1.ckpt"));
+  EXPECT_FALSE(PathExists(dir + "/campaign_7.g9.ckpt"));
+  EXPECT_FALSE(PathExists(dir + "/campaign_3.g9.ckpt.tmp.99999"));
+
+  serving::CampaignEngine restored;
+  restored.AddCampaign("c0", FastConfig(), f.problem.sf0, f.problem.builder,
+                       &f.problem.dataset.corpus);
+  ASSERT_TRUE(store.Restore(&restored).ok());
+  EXPECT_EQ(restored.timestep(0), 2);
+}
+
+TEST(CampaignStoreTest, RestoreRejectsUnregisteredCampaign) {
+  Fixture f = MakeFixture(5);
+  serving::CampaignEngine engine;
+  engine.AddCampaign("known", FastConfig(), f.problem.sf0, f.problem.builder,
+                     &f.problem.dataset.corpus);
+  engine.Ingest(0, f.days[0].tweet_ids, 0);
+  engine.Advance();
+
+  const serving::CampaignStore store(TempStoreDir("unregistered_store"));
+  ASSERT_TRUE(store.Save(engine).ok());
+
+  serving::CampaignEngine other;
+  other.AddCampaign("different-name", FastConfig(), f.problem.sf0,
+                    f.problem.builder, &f.problem.dataset.corpus);
+  const Status status = store.Restore(&other);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(CampaignStoreTest, RestoreFailsCleanlyWithoutManifest) {
+  Fixture f = MakeFixture(5);
+  serving::CampaignEngine engine;
+  engine.AddCampaign("c0", FastConfig(), f.problem.sf0, f.problem.builder,
+                     &f.problem.dataset.corpus);
+  const serving::CampaignStore store(TempStoreDir("missing_store"));
+  EXPECT_FALSE(store.HasManifest());
+  EXPECT_EQ(store.Restore(&engine).code(), StatusCode::kIoError);
+}
+
+// --- atomic persistence ------------------------------------------------------
+
+TEST(AtomicWriteTest, WriterErrorLeavesPreviousContentsIntact) {
+  const std::string path = ::testing::TempDir() + "/atomic_write_probe";
+  ASSERT_TRUE(AtomicWriteFile(path, [](std::ostream* os) {
+                *os << "generation 1";
+                return Status::OK();
+              }).ok());
+
+  const Status failed = AtomicWriteFile(path, [](std::ostream* os) {
+    *os << "half-written generation 2";
+    return Status::IoError("simulated crash mid-write");
+  });
+  EXPECT_FALSE(failed.ok());
+  // Temp (pid-unique name) cleaned up.
+  EXPECT_FALSE(PathExists(path + ".tmp." + std::to_string(getpid())));
+
+  std::ifstream in(path);
+  std::string contents;
+  std::getline(in, contents);
+  EXPECT_EQ(contents, "generation 1");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, SaveStateIsAtomicAndLeavesNoTemp) {
+  const Fixture f = MakeFixture(5);
+  OnlineTriClusterer online(FastConfig(), f.problem.sf0);
+  online.ProcessSnapshot(f.problem.builder.Build(
+      f.problem.dataset.corpus, f.days[0].tweet_ids, 0));
+
+  const std::string path = ::testing::TempDir() + "/atomic_state.ckpt";
+  const std::string temp = path + ".tmp." + std::to_string(getpid());
+  ASSERT_TRUE(online.SaveState(path).ok());
+  EXPECT_FALSE(PathExists(temp));
+
+  // Overwriting an existing checkpoint goes through the same temp+rename.
+  online.ProcessSnapshot(f.problem.builder.Build(
+      f.problem.dataset.corpus, f.days[1].tweet_ids, 1));
+  ASSERT_TRUE(online.SaveState(path).ok());
+  EXPECT_FALSE(PathExists(temp));
+
+  OnlineTriClusterer restored(FastConfig(), f.problem.sf0);
+  ASSERT_TRUE(restored.RestoreState(path).ok());
+  EXPECT_EQ(restored.timestep(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, CreateDirectoriesIsIdempotent) {
+  const std::string dir = ::testing::TempDir() + "/nested/store/dir";
+  ASSERT_TRUE(CreateDirectories(dir).ok());
+  ASSERT_TRUE(CreateDirectories(dir).ok());
+  EXPECT_TRUE(PathExists(dir));
+}
+
+}  // namespace
+}  // namespace triclust
