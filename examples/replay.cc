@@ -1,0 +1,298 @@
+/// Replay driver CLI: load a corpus TSV (docs/FORMATS.md), partition it
+/// into topic streams, and stream it through the multi-campaign
+/// CampaignEngine in day order at a configurable speed-up — the path by
+/// which arbitrary external datasets reach the serving layer.
+///
+/// Usage:
+///   replay [--input corpus.tsv] [--campaigns N] [--iters I] [--threads N]
+///          [--day-interval-ms MS] [--speedup X] [--deadline-ms MS]
+///          [--max-days D] [--store DIR] [--write-demo path.tsv]
+///          [--no-verify]
+///
+/// Without --input a demo corpus is generated, written to a TSV, and read
+/// back, so the run always exercises the on-disk loaders end-to-end;
+/// --write-demo keeps that TSV (or, with --input, re-exports the loaded
+/// corpus in the canonical format).
+/// Unless --no-verify (or a deadline reshapes the snapshots), the replayed
+/// per-campaign factors are checked bitwise against a direct
+/// MatrixBuilder::Build + SnapshotSolver::Solve loop over the same days.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/snapshot_solver.h"
+#include "src/data/corpus_io.h"
+#include "src/data/matrix_builder.h"
+#include "src/data/synthetic.h"
+#include "src/serving/campaign_store.h"
+#include "src/serving/replay.h"
+#include "src/text/lexicon.h"
+#include "src/util/string_util.h"
+#include "src/util/table_writer.h"
+
+namespace triclust {
+namespace {
+
+struct CliOptions {
+  std::string input;
+  size_t campaigns = 2;
+  int iters = 30;
+  int threads = 0;  // engine sharding budget; 0 = hardware concurrency
+  double day_interval_ms = 0.0;
+  double speedup = 1.0;
+  double deadline_ms = 0.0;
+  int max_days = 0;
+  std::string store_dir;
+  std::string write_demo;
+  bool verify = true;
+};
+
+int Fail(const std::string& why) {
+  std::cerr << "error: " << why << "\n"
+            << "usage: replay [--input corpus.tsv] [--campaigns N] "
+               "[--iters I] [--threads N] [--day-interval-ms MS] "
+               "[--speedup X] [--deadline-ms MS] [--max-days D] "
+               "[--store DIR] [--write-demo path.tsv] [--no-verify]\n";
+  return 1;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    auto parse_size = [&](size_t* out) {
+      const char* v = next();
+      return v != nullptr && ParseSizeT(v, out);
+    };
+    auto parse_double = [&](double* out) {
+      const char* v = next();
+      return v != nullptr && ParseDouble(v, out);
+    };
+    if (arg == "--input") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->input = v;
+    } else if (arg == "--campaigns") {
+      if (!parse_size(&options->campaigns) || options->campaigns == 0) {
+        return false;
+      }
+    } else if (arg == "--iters") {
+      size_t iters = 0;
+      if (!parse_size(&iters) || iters == 0) return false;
+      options->iters = static_cast<int>(iters);
+    } else if (arg == "--threads") {
+      size_t threads = 0;
+      if (!parse_size(&threads)) return false;
+      options->threads = static_cast<int>(threads);
+    } else if (arg == "--day-interval-ms") {
+      if (!parse_double(&options->day_interval_ms) ||
+          options->day_interval_ms < 0) {
+        return false;
+      }
+    } else if (arg == "--speedup") {
+      if (!parse_double(&options->speedup) || options->speedup <= 0) {
+        return false;
+      }
+    } else if (arg == "--deadline-ms") {
+      if (!parse_double(&options->deadline_ms)) return false;
+    } else if (arg == "--max-days") {
+      size_t days = 0;
+      if (!parse_size(&days)) return false;
+      options->max_days = static_cast<int>(days);
+    } else if (arg == "--store") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->store_dir = v;
+    } else if (arg == "--write-demo") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->write_demo = v;
+    } else if (arg == "--no-verify") {
+      options->verify = false;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunReplay(const CliOptions& options) {
+  // --- load (or generate + round-trip) the corpus ---------------------------
+  Corpus corpus;
+  SentimentLexicon lexicon;
+  if (options.input.empty()) {
+    std::cerr << "demo mode: generating a synthetic campaign corpus\n";
+    SyntheticConfig config = Prop30LikeConfig();
+    config.num_days = 8;
+    config.base_tweets_per_day = 120.0;
+    config.num_users = 300;
+    SyntheticDataset dataset = GenerateSynthetic(config);
+    lexicon = CorruptLexicon(dataset.true_lexicon, 0.6, 0.05, 99);
+    // Pid-unique default so concurrent demo runs (CI jobs, multiple
+    // users on one host) never collide in /tmp.
+    const std::string demo_path =
+        options.write_demo.empty()
+            ? "/tmp/triclust_replay_demo." + std::to_string(getpid()) +
+                  ".tsv"
+            : options.write_demo;
+    const Status written = WriteTsv(dataset.corpus, demo_path);
+    if (!written.ok()) return Fail(written.ToString());
+    std::cerr << "wrote demo corpus to " << demo_path << "\n";
+    auto loaded = ReadTsv(demo_path);
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    corpus = std::move(loaded).value();
+    if (options.write_demo.empty()) std::remove(demo_path.c_str());
+  } else {
+    auto loaded = ReadTsv(options.input);
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    corpus = std::move(loaded).value();
+    lexicon = SentimentLexicon::BuiltinEnglish();
+    if (!options.write_demo.empty()) {
+      // With --input, --write-demo re-exports the loaded corpus in the
+      // canonical format (normalizes legacy files; see docs/FORMATS.md).
+      const Status written = WriteTsv(corpus, options.write_demo);
+      if (!written.ok()) return Fail(written.ToString());
+      std::cerr << "re-exported corpus to " << options.write_demo << "\n";
+    }
+  }
+  std::cerr << "corpus: " << corpus.num_tweets() << " tweets, "
+            << corpus.num_users() << " users, " << corpus.num_days()
+            << " days\n";
+  if (corpus.num_tweets() == 0) return Fail("corpus has no tweets");
+
+  // --- one fitted feature space, shared by every topic stream --------------
+  MatrixBuilder builder;
+  builder.Fit(corpus);
+  const DenseMatrix sf0 = lexicon.BuildSf0(builder.vocabulary(), 3);
+  OnlineConfig config;
+  config.base.max_iterations = options.iters;
+  config.base.track_loss = false;
+
+  const auto streams =
+      serving::PartitionIntoStreams(corpus, options.campaigns);
+
+  serving::CampaignEngine::Options engine_options;
+  engine_options.num_threads = options.threads;
+  serving::CampaignEngine engine(engine_options);
+  for (size_t s = 0; s < streams.size(); ++s) {
+    engine.AddCampaign("topic-" + std::to_string(s), config, sf0, builder,
+                       &corpus);
+  }
+
+  serving::ReplayDriver driver(&engine);
+  for (size_t s = 0; s < streams.size(); ++s) {
+    driver.AddStream(s, streams[s]);
+  }
+
+  // Capture each campaign's fitted factors for the verification pass.
+  std::vector<std::vector<TriClusterResult>> replayed(streams.size());
+  std::vector<std::vector<size_t>> replayed_sizes(streams.size());
+  driver.set_snapshot_callback(
+      [&](int /*day*/, const serving::CampaignEngine::SnapshotReport& r) {
+        if (!r.fitted) return;
+        replayed[r.campaign].push_back(r.result);
+        replayed_sizes[r.campaign].push_back(r.data.num_tweets());
+      });
+
+  serving::ReplayOptions replay_options;
+  replay_options.day_interval_ms = options.day_interval_ms;
+  replay_options.speedup = options.speedup;
+  replay_options.deadline_ms = options.deadline_ms;
+  replay_options.max_days = options.max_days;
+  const serving::ReplayStats stats = driver.Replay(replay_options);
+
+  // --- report ---------------------------------------------------------------
+  TableWriter day_table("Replay timeline (one row per replayed day)");
+  day_table.SetHeader({"day", "tweets", "fits", "deferred", "wait ms",
+                       "advance ms"});
+  for (const auto& d : stats.days) {
+    day_table.AddRow({std::to_string(d.day), std::to_string(d.tweets),
+                      std::to_string(d.fits), std::to_string(d.deferred),
+                      TableWriter::Num(d.wait_ms, 1),
+                      TableWriter::Num(d.advance_ms, 1)});
+  }
+  day_table.Print(std::cout);
+
+  TableWriter campaign_table("Per-campaign replay stats");
+  campaign_table.SetHeader({"campaign", "snapshots", "deferred", "tweets",
+                            "mean solve ms", "max solve ms"});
+  for (const auto& c : stats.campaigns) {
+    campaign_table.AddRow(
+        {engine.name(c.campaign), std::to_string(c.snapshots),
+         std::to_string(c.deferred), std::to_string(c.tweets),
+         TableWriter::Num(c.MeanSolveMs(), 1),
+         TableWriter::Num(c.solve_ms_max, 1)});
+  }
+  campaign_table.Print(std::cout);
+
+  std::cout << "replayed " << stats.total_tweets << " tweets over "
+            << stats.days.size() << " days in "
+            << TableWriter::Num(stats.wall_ms, 0) << " ms ("
+            << TableWriter::Num(stats.TweetsPerSecond(), 0)
+            << " tweets/s, " << stats.total_deferred
+            << " deferred fits)\n";
+
+  // --- persist the fleet ----------------------------------------------------
+  if (!options.store_dir.empty()) {
+    const serving::CampaignStore store(options.store_dir);
+    const Status saved = store.Save(engine);
+    if (!saved.ok()) return Fail("store save failed: " + saved.ToString());
+    std::cout << "checkpointed " << engine.num_campaigns()
+              << " campaigns into " << options.store_dir << "\n";
+  }
+
+  // --- verify against a direct per-day solve --------------------------------
+  if (options.verify) {
+    if (options.deadline_ms > 0.0) {
+      std::cout << "verification skipped: a deadline reshapes snapshot "
+                   "boundaries, so a direct per-day run is not comparable\n";
+      return 0;
+    }
+    bool identical = true;
+    for (size_t s = 0; s < streams.size(); ++s) {
+      const SnapshotSolver solver(config, sf0);
+      StreamState state;
+      size_t cursor = 0;
+      const int days = options.max_days > 0
+                           ? std::min<int>(options.max_days,
+                                           static_cast<int>(streams[s].size()))
+                           : static_cast<int>(streams[s].size());
+      for (int day = 0; day < days; ++day) {
+        const Snapshot& snap = streams[s][static_cast<size_t>(day)];
+        const DatasetMatrices data =
+            builder.Build(corpus, snap.tweet_ids, snap.last_day);
+        const TriClusterResult expected = solver.Solve(data, &state);
+        if (cursor >= replayed[s].size() ||
+            replayed_sizes[s][cursor] != data.num_tweets() ||
+            !(replayed[s][cursor].su == expected.su &&
+              replayed[s][cursor].sp == expected.sp &&
+              replayed[s][cursor].sf == expected.sf)) {
+          identical = false;
+        }
+        ++cursor;
+      }
+      if (cursor != replayed[s].size()) identical = false;
+    }
+    std::cout << "replay vs direct per-day solve: "
+              << (identical ? "bit-identical" : "MISMATCH (bug!)") << "\n";
+    return identical ? 0 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace triclust
+
+int main(int argc, char** argv) {
+  triclust::CliOptions options;
+  if (!triclust::ParseArgs(argc, argv, &options)) {
+    return triclust::Fail("bad arguments");
+  }
+  return triclust::RunReplay(options);
+}

@@ -48,7 +48,8 @@ struct UserPartition {
 class SnapshotSolver {
  public:
   /// `sf0` is the l×k lexicon prior, used as the feature target for the
-  /// first snapshot (no history yet) and to initialize new users.
+  /// first snapshot (no history yet) and to initialize new users. The
+  /// solver is immutable after construction.
   SnapshotSolver(OnlineConfig config, DenseMatrix sf0);
 
   /// Byproducts of one Solve() call that are not part of the factor result
@@ -70,15 +71,26 @@ class SnapshotSolver {
   /// `workspace` (optional) provides caller-owned scratch so steady-state
   /// serving allocates nothing per snapshot; pass nullptr to allocate a
   /// local one (results are bit-identical either way).
+  ///
+  /// Thread safety: const and re-entrant — concurrent Solve() calls on
+  /// one solver are safe as long as each call owns its `state`, `info`,
+  /// and `workspace` exclusively. The kernels honor the ambient budget
+  /// (see the class comment), which concurrent callers must coordinate.
   TriClusterResult Solve(const DatasetMatrices& data, StreamState* state,
                          SolveInfo* info = nullptr,
                          update::UpdateWorkspace* workspace = nullptr) const;
 
   /// The decayed, row-normalized feature aggregate Sfw for `state` (Sf0
-  /// when the state has no history yet).
+  /// when the state has no history yet). Thread safety: const; safe
+  /// concurrently with other reads of `state`.
   DenseMatrix ComputeSfw(const StreamState& state) const;
 
+  /// The immutable config this solver applies to every snapshot.
+  /// Thread safety: safe from any thread.
   const OnlineConfig& config() const { return config_; }
+
+  /// The immutable l×k lexicon prior. Thread safety: safe from any
+  /// thread; the reference lives as long as the solver.
   const DenseMatrix& sf0() const { return sf0_; }
 
  private:

@@ -21,6 +21,10 @@ namespace triclust {
 /// StreamState'); keeping the state inert is what lets a serving layer hold
 /// N campaign states side by side, checkpoint them independently, and fit
 /// them on whichever thread is free.
+///
+/// Thread safety: that of any plain value — concurrent readers are safe,
+/// and a writer (Solve() advancing it, set_state replacing it) needs
+/// exclusive access. No internal synchronization.
 struct StreamState {
   /// Number of snapshots processed so far.
   int timestep = 0;
@@ -31,18 +35,22 @@ struct StreamState {
   std::unordered_map<size_t, std::deque<std::vector<double>>> user_history;
 
   /// Latest known sentiment row of a corpus user, or empty when unseen.
+  /// Thread safety: const read; safe concurrently with other readers.
   std::vector<double> UserSentiment(size_t corpus_user_id) const;
 
   /// Serializes to the `triclust-online-state 1` text format (the same
   /// format OnlineTriClusterer::SaveState has always written, so existing
-  /// checkpoints stay readable). User histories are written in sorted id
-  /// order for deterministic files. Returns an IoError when the stream
-  /// fails.
+  /// checkpoints stay readable; spec in docs/FORMATS.md §2). User
+  /// histories are written in sorted id order, so identical states yield
+  /// identical bytes. Returns an IoError when the stream fails. Thread
+  /// safety: const read of the state; `os` must not be shared.
   Status Write(std::ostream* os) const;
 
   /// Parses a state written by Write(). `num_features`/`num_clusters` are
   /// the dimensions of the owning solver's Sf0; every Sf matrix and user
-  /// row in the checkpoint is validated against them.
+  /// row in the checkpoint is validated against them (FailedPrecondition
+  /// on a feature-space mismatch). Thread safety: stateless aside from
+  /// `is`, which must not be shared.
   static Result<StreamState> Read(std::istream* is, size_t num_features,
                                   size_t num_clusters);
 };

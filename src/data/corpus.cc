@@ -1,10 +1,9 @@
 #include "src/data/corpus.h"
 
 #include <algorithm>
-#include <fstream>
 
+#include "src/data/corpus_io.h"
 #include "src/util/logging.h"
-#include "src/util/string_util.h"
 
 namespace triclust {
 
@@ -49,6 +48,23 @@ Sentiment Corpus::UserSentimentAt(size_t user, int day) const {
     }
   }
   return users_[user].label;
+}
+
+Sentiment Corpus::ExplicitUserSentimentAt(size_t user, int day) const {
+  TRICLUST_CHECK_LT(user, users_.size());
+  if (user < user_sentiment_by_day_.size() && day >= 0) {
+    const auto& days = user_sentiment_by_day_[user];
+    if (static_cast<size_t>(day) < days.size()) {
+      return days[static_cast<size_t>(day)];
+    }
+  }
+  return Sentiment::kUnlabeled;
+}
+
+int Corpus::num_annotated_days(size_t user) const {
+  TRICLUST_CHECK_LT(user, users_.size());
+  if (user >= user_sentiment_by_day_.size()) return 0;
+  return static_cast<int>(user_sentiment_by_day_[user].size());
 }
 
 int Corpus::num_days() const {
@@ -100,10 +116,6 @@ void Tally(Sentiment s, Corpus::LabelCounts* counts) {
   }
 }
 
-int SentimentToInt(Sentiment s) { return static_cast<int>(s); }
-
-Sentiment SentimentFromInt(int v) { return static_cast<Sentiment>(v); }
-
 }  // namespace
 
 Corpus::LabelCounts Corpus::CountTweetLabels() const {
@@ -119,72 +131,11 @@ Corpus::LabelCounts Corpus::CountUserLabels() const {
 }
 
 Status Corpus::SaveTsv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  out << "#users\t" << users_.size() << "\n";
-  for (const UserInfo& u : users_) {
-    out << "U\t" << u.id << "\t" << u.handle << "\t"
-        << SentimentToInt(u.label) << "\n";
-  }
-  for (const Tweet& t : tweets_) {
-    std::string text = t.text;
-    std::replace(text.begin(), text.end(), '\t', ' ');
-    std::replace(text.begin(), text.end(), '\n', ' ');
-    out << "T\t" << t.id << "\t" << t.user << "\t" << t.day << "\t"
-        << SentimentToInt(t.label) << "\t" << t.retweet_of << "\t" << text
-        << "\n";
-  }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return WriteTsv(*this, path);
 }
 
 Result<Corpus> Corpus::LoadTsv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
-  Corpus corpus;
-  std::string line;
-  size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty() || line[0] == '#') continue;
-    const std::vector<std::string> fields = Split(line, '\t');
-    const auto fail = [&](const std::string& why) {
-      return Status::ParseError(path + ":" + std::to_string(line_no) + ": " +
-                                why);
-    };
-    if (fields[0] == "U") {
-      if (fields.size() != 4) return fail("user row needs 4 fields");
-      size_t id = 0;
-      double label = 0;
-      if (!ParseSizeT(fields[1], &id) || !ParseDouble(fields[3], &label)) {
-        return fail("malformed user row");
-      }
-      const size_t got = corpus.AddUser(
-          fields[2], SentimentFromInt(static_cast<int>(label)));
-      if (got != id) return fail("non-contiguous user ids");
-    } else if (fields[0] == "T") {
-      if (fields.size() != 7) return fail("tweet row needs 7 fields");
-      size_t id = 0;
-      size_t user = 0;
-      double day = 0;
-      double label = 0;
-      double retweet_of = 0;
-      if (!ParseSizeT(fields[1], &id) || !ParseSizeT(fields[2], &user) ||
-          !ParseDouble(fields[3], &day) || !ParseDouble(fields[4], &label) ||
-          !ParseDouble(fields[5], &retweet_of)) {
-        return fail("malformed tweet row");
-      }
-      if (user >= corpus.num_users()) return fail("tweet references bad user");
-      const size_t got = corpus.AddTweet(
-          user, static_cast<int>(day), fields[6],
-          SentimentFromInt(static_cast<int>(label)),
-          static_cast<ptrdiff_t>(retweet_of));
-      if (got != id) return fail("non-contiguous tweet ids");
-    } else {
-      return fail("unknown row tag '" + fields[0] + "'");
-    }
-  }
-  return corpus;
+  return ReadTsv(path);
 }
 
 }  // namespace triclust

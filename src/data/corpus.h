@@ -67,6 +67,14 @@ class Corpus {
   /// True when any per-day user annotations were recorded.
   bool HasTemporalUserLabels() const { return !user_sentiment_by_day_.empty(); }
 
+  /// Explicit per-day annotation of `user` on `day`, kUnlabeled when none
+  /// was recorded — unlike UserSentimentAt, never falls back to the static
+  /// label. This is the serialization view of the temporal annotations.
+  Sentiment ExplicitUserSentimentAt(size_t user, int day) const;
+
+  /// 1 + the last annotated day of `user` (0 when unannotated).
+  int num_annotated_days(size_t user) const;
+
   size_t num_tweets() const { return tweets_.size(); }
   size_t num_users() const { return users_.size(); }
 
@@ -92,8 +100,8 @@ class Corpus {
   LabelCounts CountTweetLabels() const;
   LabelCounts CountUserLabels() const;
 
-  /// TSV persistence (one tweet per line:
-  /// id, user, day, label, retweet_of, text).
+  /// TSV persistence. Thin wrappers over WriteTsv/ReadTsv
+  /// (src/data/corpus_io.h); the format is specified in docs/FORMATS.md.
   Status SaveTsv(const std::string& path) const;
   static Result<Corpus> LoadTsv(const std::string& path);
 

@@ -1,0 +1,285 @@
+#include "src/data/corpus_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <vector>
+
+#include "src/util/file_util.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace triclust {
+
+namespace {
+
+/// Upper bound on day indices accepted from disk. Day fields beyond this are
+/// far more likely corrupted than a century-long collection; rejecting them
+/// keeps one bad row from inflating every downstream per-day structure.
+constexpr int kMaxDay = 36500;
+
+}  // namespace
+
+bool ParseSentimentLabel(const std::string& token, Sentiment* out) {
+  if (token == "pos" || token == "0") {
+    *out = Sentiment::kPositive;
+  } else if (token == "neg" || token == "1") {
+    *out = Sentiment::kNegative;
+  } else if (token == "neu" || token == "2") {
+    *out = Sentiment::kNeutral;
+  } else if (token == "unlabeled" || token == "-1") {
+    *out = Sentiment::kUnlabeled;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string EscapeTsvField(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      default:
+        escaped += c;
+    }
+  }
+  return escaped;
+}
+
+std::string UnescapeTsvField(const std::string& text) {
+  std::string raw;
+  raw.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 == text.size()) {
+      raw += text[i];
+      continue;
+    }
+    switch (text[i + 1]) {
+      case '\\':
+        raw += '\\';
+        ++i;
+        break;
+      case 't':
+        raw += '\t';
+        ++i;
+        break;
+      case 'n':
+        raw += '\n';
+        ++i;
+        break;
+      case 'r':
+        raw += '\r';
+        ++i;
+        break;
+      default:
+        // Unknown escape: keep the backslash so legacy text is unchanged.
+        raw += '\\';
+    }
+  }
+  return raw;
+}
+
+Status WriteTsv(const Corpus& corpus, std::ostream* os) {
+  std::ostream& out = *os;
+  out << "# triclust corpus tsv 1\n";
+  out << "# U\tid\thandle\tlabel\n";
+  out << "# T\tid\tuser\tday\tlabel\tretweet_of\ttext\n";
+  out << "# D\tuser\tday\tlabel\n";
+  for (const UserInfo& u : corpus.users()) {
+    out << "U\t" << u.id << "\t" << EscapeTsvField(u.handle) << "\t"
+        << SentimentName(u.label) << "\n";
+  }
+  for (size_t u = 0; u < corpus.num_users(); ++u) {
+    const int days = corpus.num_annotated_days(u);
+    for (int day = 0; day < days; ++day) {
+      const Sentiment s = corpus.ExplicitUserSentimentAt(u, day);
+      if (s == Sentiment::kUnlabeled) continue;
+      out << "D\t" << u << "\t" << day << "\t" << SentimentName(s) << "\n";
+    }
+  }
+  for (const Tweet& t : corpus.tweets()) {
+    out << "T\t" << t.id << "\t" << t.user << "\t" << t.day << "\t"
+        << SentimentName(t.label) << "\t" << t.retweet_of << "\t"
+        << EscapeTsvField(t.text) << "\n";
+  }
+  if (!out) return Status::IoError("corpus TSV write failed");
+  return Status::OK();
+}
+
+Status WriteTsv(const Corpus& corpus, const std::string& path) {
+  return AtomicWriteFile(path, [&corpus](std::ostream* os) {
+    return WriteTsv(corpus, os);
+  });
+}
+
+Result<Corpus> ReadTsv(std::istream* is, const std::string& source_name) {
+  Corpus corpus;
+  std::string line;
+  size_t line_no = 0;
+  // Files from the pre-corpus_io writer open with a "#users\t<count>"
+  // banner as their FIRST line and wrote handle/text fields raw (no
+  // escaping) — a literal backslash-t in them is text, not a tab. Detect
+  // the banner (first line only, so a stray comment in a new-format file
+  // cannot flip the mode mid-stream) and skip unescaping so those bytes
+  // load unchanged.
+  bool legacy_raw_text = false;
+  const auto decode_field = [&legacy_raw_text](const std::string& field) {
+    return legacy_raw_text ? field : UnescapeTsvField(field);
+  };
+  // Day extremes, for the epoch-days warnings below.
+  long long first_populated_day = kMaxDay + 1;
+  long long max_tweet_day = -1;
+  long long max_label_day = -1;
+  while (std::getline(*is, line)) {
+    ++line_no;
+    if (line_no == 1 && line.compare(0, 7, "#users\t") == 0) {
+      legacy_raw_text = true;
+    }
+    // Tolerate CRLF line endings (externally-prepared files): the
+    // trailing CR is a line-ending artifact, not field content — real
+    // carriage returns inside text arrive as the \r escape. Legacy files
+    // are exempt: their writer escaped nothing, so a trailing CR there is
+    // content, which the pre-corpus_io loader preserved.
+    if (!legacy_raw_text && !line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> fields = Split(line, '\t');
+    const auto fail = [&](const std::string& why) {
+      return Status::ParseError(source_name + ":" + std::to_string(line_no) +
+                                ": " + why);
+    };
+    if (fields[0] == "U") {
+      if (fields.size() != 4) {
+        return fail("user row needs 4 fields, got " +
+                    std::to_string(fields.size()));
+      }
+      size_t id = 0;
+      if (!ParseSizeT(fields[1], &id)) {
+        return fail("malformed user id '" + fields[1] + "'");
+      }
+      if (id != corpus.num_users()) {
+        return fail("non-contiguous user id " + fields[1] + " (expected " +
+                    std::to_string(corpus.num_users()) + ")");
+      }
+      Sentiment label = Sentiment::kUnlabeled;
+      if (!ParseSentimentLabel(fields[3], &label)) {
+        return fail("unknown label '" + fields[3] + "'");
+      }
+      corpus.AddUser(decode_field(fields[2]), label);
+    } else if (fields[0] == "T") {
+      if (fields.size() != 7) {
+        return fail("tweet row needs 7 fields, got " +
+                    std::to_string(fields.size()));
+      }
+      size_t id = 0;
+      if (!ParseSizeT(fields[1], &id)) {
+        return fail("malformed tweet id '" + fields[1] + "'");
+      }
+      if (id != corpus.num_tweets()) {
+        return fail("non-contiguous tweet id " + fields[1] + " (expected " +
+                    std::to_string(corpus.num_tweets()) + ")");
+      }
+      size_t user = 0;
+      if (!ParseSizeT(fields[2], &user)) {
+        return fail("malformed user id '" + fields[2] + "'");
+      }
+      if (user >= corpus.num_users()) {
+        return fail("tweet references undefined user " + fields[2]);
+      }
+      long long day = 0;
+      if (!ParseInt64(fields[3], &day) || day < 0 || day > kMaxDay) {
+        return fail("day '" + fields[3] + "' out of range [0, " +
+                    std::to_string(kMaxDay) + "]");
+      }
+      Sentiment label = Sentiment::kUnlabeled;
+      if (!ParseSentimentLabel(fields[4], &label)) {
+        return fail("unknown label '" + fields[4] + "'");
+      }
+      long long retweet_of = -1;
+      if (!ParseInt64(fields[5], &retweet_of) || retweet_of < -1) {
+        return fail("malformed retweet_of '" + fields[5] + "'");
+      }
+      if (retweet_of >= static_cast<long long>(id)) {
+        return fail("retweet_of " + fields[5] +
+                    " must reference an earlier tweet");
+      }
+      first_populated_day = std::min(first_populated_day, day);
+      max_tweet_day = std::max(max_tweet_day, day);
+      corpus.AddTweet(user, static_cast<int>(day), decode_field(fields[6]),
+                      label, static_cast<ptrdiff_t>(retweet_of));
+    } else if (fields[0] == "D") {
+      if (fields.size() != 4) {
+        return fail("day-label row needs 4 fields, got " +
+                    std::to_string(fields.size()));
+      }
+      size_t user = 0;
+      if (!ParseSizeT(fields[1], &user)) {
+        return fail("malformed user id '" + fields[1] + "'");
+      }
+      if (user >= corpus.num_users()) {
+        return fail("day label references undefined user " + fields[1]);
+      }
+      long long day = 0;
+      if (!ParseInt64(fields[2], &day) || day < 0 || day > kMaxDay) {
+        return fail("day '" + fields[2] + "' out of range [0, " +
+                    std::to_string(kMaxDay) + "]");
+      }
+      Sentiment label = Sentiment::kUnlabeled;
+      if (!ParseSentimentLabel(fields[3], &label)) {
+        return fail("unknown label '" + fields[3] + "'");
+      }
+      if (label == Sentiment::kUnlabeled) {
+        return fail("day annotation must carry a pos/neg/neu label");
+      }
+      first_populated_day = std::min(first_populated_day, day);
+      max_label_day = std::max(max_label_day, day);
+      corpus.SetUserSentimentAt(user, static_cast<int>(day), label);
+    } else {
+      return fail("unknown row tag '" + fields[0] + "'");
+    }
+  }
+  if (is->bad()) return Status::IoError(source_name + ": read failed");
+  // Day indices are meant to be zero-based within the collection window
+  // (FORMATS.md §1.1). A large empty prefix — the classic symptom of
+  // absolute days-since-epoch timestamps, on tweets or on per-day labels —
+  // still parses, but every day-indexed consumer (snapshot splitting,
+  // replay, the per-user label vectors) pays for the empty days; flag it.
+  if (first_populated_day <= kMaxDay && first_populated_day > 365) {
+    TRICLUST_LOG(kWarning)
+        << source_name << ": first populated day is " << first_populated_day
+        << " — days should be zero-based within the collection window; "
+        << "day-indexed consumers (replay, snapshot splitting, per-day "
+        << "labels) will walk the empty prefix first";
+  }
+  // D rows far beyond the tweet window are the same mistake hidden behind
+  // day-0 tweets: the annotations sit where no evaluation ever looks.
+  if (max_label_day > max_tweet_day + 365) {
+    TRICLUST_LOG(kWarning)
+        << source_name << ": per-day labels reach day " << max_label_day
+        << " but the last tweet is on day " << max_tweet_day
+        << " — the day bases look mismatched, so evaluations would never "
+        << "consult the out-of-window annotations";
+  }
+  return corpus;
+}
+
+Result<Corpus> ReadTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return ReadTsv(&in, path);
+}
+
+}  // namespace triclust

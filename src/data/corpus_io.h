@@ -1,0 +1,77 @@
+#ifndef TRICLUST_SRC_DATA_CORPUS_IO_H_
+#define TRICLUST_SRC_DATA_CORPUS_IO_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "src/data/corpus.h"
+#include "src/util/status.h"
+
+namespace triclust {
+
+/// Reader/writer of the corpus TSV format — the on-disk form by which
+/// external temporal tweet collections reach the engine (the paper's real
+/// datasets are collections of exactly this shape: tweets with an author, a
+/// day timestamp, optional sentiment annotations, and retweet links).
+///
+/// The format is specified normatively in docs/FORMATS.md. In short, a file
+/// is a sequence of tab-separated rows, one record each:
+///
+///   U <id> <handle> <label>                       — one user
+///   T <id> <user> <day> <label> <retweet_of> <text> — one tweet
+///   D <user> <day> <label>                        — per-day user annotation
+///
+/// Labels are the sentiment vocabulary {pos, neg, neu, unlabeled}; legacy
+/// integer codes {-1, 0, 1, 2} are also accepted on read. Tweet text is
+/// escaped (\t, \n, \r, \\) so arbitrary text round-trips byte-for-byte.
+/// Lines starting with '#' are comments. Ids must be dense and in order;
+/// every cross-reference (tweet → user, retweet → earlier tweet, label day)
+/// is validated, and every diagnostic carries the offending
+/// "<source>:<line>:" prefix so a malformed external dataset pinpoints its
+/// own bad row.
+///
+/// WriteTsv(corpus, path) → ReadTsv(path) reproduces the corpus exactly:
+/// users, tweets (including text bytes), static labels, retweet links, and
+/// the per-day temporal annotations. Files written by older versions of
+/// this repo (integer labels, unescaped text, no D rows) load unchanged:
+/// their "#users\t<count>" banner switches the reader to raw text fields,
+/// so a literal backslash sequence in legacy text is not mistaken for an
+/// escape.
+///
+/// Thread safety: the functions are stateless and re-entrant; concurrent
+/// calls on distinct streams/paths are safe. The path-taking WriteTsv goes
+/// through AtomicWriteFile, so a reader never observes a torn file.
+
+/// Serializes `corpus` to `os`. Returns IoError when the stream fails.
+Status WriteTsv(const Corpus& corpus, std::ostream* os);
+
+/// Atomically replaces `path` with the serialized corpus
+/// (write-temp-then-fsync-then-rename; see AtomicWriteFile).
+Status WriteTsv(const Corpus& corpus, const std::string& path);
+
+/// Parses a corpus from `is`. `source_name` prefixes diagnostics (a path,
+/// or "<stream>"). Returns ParseError with "<source>:<line>: <why>" on the
+/// first malformed row; the partially-built corpus is discarded.
+Result<Corpus> ReadTsv(std::istream* is,
+                       const std::string& source_name = "<stream>");
+
+/// Parses the corpus stored at `path` (IoError when unreadable).
+Result<Corpus> ReadTsv(const std::string& path);
+
+/// Parses a sentiment label token: the names "pos", "neg", "neu",
+/// "unlabeled" or the legacy integer codes 0, 1, 2, -1. Returns false on
+/// anything else.
+bool ParseSentimentLabel(const std::string& token, Sentiment* out);
+
+/// Escapes tweet text for a TSV field: backslash, tab, newline, and
+/// carriage return become \\, \t, \n, \r.
+std::string EscapeTsvField(const std::string& text);
+
+/// Inverse of EscapeTsvField. Unknown escape sequences are preserved
+/// verbatim (so legacy files containing raw backslashes load unchanged).
+std::string UnescapeTsvField(const std::string& text);
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_DATA_CORPUS_IO_H_

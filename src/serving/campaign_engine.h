@@ -84,8 +84,14 @@ class CampaignEngine {
   size_t AddCampaign(std::string name, OnlineConfig config, DenseMatrix sf0,
                      MatrixBuilder builder, const Corpus* corpus);
 
+  /// Number of registered campaigns. Thread safety (like every accessor
+  /// below): safe from the confined caller thread; not from others while
+  /// Advance() runs.
   size_t num_campaigns() const { return campaigns_.size(); }
+
+  /// The unique name `campaign` was registered under.
   const std::string& name(size_t campaign) const;
+
   /// Id of the campaign with `name`, or -1 when unknown.
   ptrdiff_t FindCampaign(const std::string& name) const;
 
@@ -102,12 +108,17 @@ class CampaignEngine {
   /// Snapshots processed so far by the campaign.
   int timestep(size_t campaign) const;
 
-  /// Latest known sentiment row of a corpus user within a campaign.
+  /// Latest known sentiment row of a corpus user within a campaign
+  /// (empty when the user has not appeared in a fitted snapshot yet).
   std::vector<double> UserSentiment(size_t campaign,
                                     size_t corpus_user_id) const;
 
-  /// The campaign's stream state / solver (CampaignStore reads these).
+  /// The campaign's evolving stream state (CampaignStore serializes it).
+  /// The reference is invalidated by set_state and mutated by Advance().
   const StreamState& state(size_t campaign) const;
+
+  /// The campaign's immutable solver: its config and lexicon prior
+  /// (CampaignStore validates checkpoints against solver().sf0()).
   const SnapshotSolver& solver(size_t campaign) const;
 
   /// Replaces a campaign's stream state (CampaignStore restore path). The

@@ -34,24 +34,34 @@ namespace serving {
 /// concurrent writer); concurrent Restore() readers are fine.
 class CampaignStore {
  public:
-  /// `directory` is created on the first Save().
+  /// `directory` is created on the first Save(). The store object itself
+  /// holds only this path — all state lives on disk, so CampaignStore
+  /// values are cheap and freely copyable.
   explicit CampaignStore(std::string directory);
 
   /// Persists every campaign state of `engine`. Atomic per the class
   /// comment; a failure before the manifest rename leaves the previous
-  /// generation fully intact.
+  /// generation fully intact. Thread safety: requires exclusive write
+  /// ownership of the directory (see class comment) and a quiescent
+  /// engine (no concurrent Advance() mutating the states being read).
   Status Save(const CampaignEngine& engine) const;
 
   /// Restores every stored campaign into the engine campaign of the same
   /// name, validating dimensions against that campaign's sf0. Engine
   /// campaigns absent from the store keep their current state; a stored
   /// campaign with no registered counterpart is an error (its history
-  /// would otherwise be silently dropped).
+  /// would otherwise be silently dropped). All-or-nothing: on any error
+  /// the engine is left untouched. Thread safety: concurrent Restore()
+  /// readers of one directory are safe; the engine must be confined to
+  /// the calling thread.
   Status Restore(CampaignEngine* engine) const;
 
-  /// True when the directory holds a committed manifest.
+  /// True when the directory holds a committed manifest. Thread safety:
+  /// read-only probe, safe concurrently with readers (and with a writer,
+  /// whose manifest rename is atomic).
   bool HasManifest() const;
 
+  /// The directory this store reads and writes.
   const std::string& directory() const { return directory_; }
 
  private:

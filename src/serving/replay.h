@@ -1,0 +1,161 @@
+#ifndef TRICLUST_SRC_SERVING_REPLAY_H_
+#define TRICLUST_SRC_SERVING_REPLAY_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/data/corpus.h"
+#include "src/data/snapshots.h"
+#include "src/serving/campaign_engine.h"
+
+namespace triclust {
+namespace serving {
+
+/// Pacing and stress knobs of one replay run.
+struct ReplayOptions {
+  /// Wall-clock interval between consecutive day releases at speedup 1, in
+  /// milliseconds. 0 (the default) replays as fast as possible — each day is
+  /// released the moment the previous Advance() returns.
+  double day_interval_ms = 0.0;
+  /// Replay acceleration: day d is released at d·day_interval_ms/speedup
+  /// after the run starts. Ignored when day_interval_ms is 0; must be > 0.
+  double speedup = 1.0;
+  /// Per-Advance soft deadline forwarded to the engine (deadline-stressed
+  /// mode): fits not started in time are deferred and their tweets fold
+  /// into the next day's snapshot. ≤ 0 disables.
+  double deadline_ms = 0.0;
+  /// Advance campaigns with an empty queue too, so every campaign's
+  /// timestep tracks the replay day even through quiet days. Matches
+  /// AdvanceOptions::include_idle.
+  bool include_idle = true;
+  /// Replay only the first `max_days` days (0 = every day in the streams).
+  int max_days = 0;
+  /// After the last day, run one deadline-free Advance() if any deferred
+  /// queue is still pending, so the replay ends with every ingested tweet
+  /// fitted. Recorded as an extra day entry with day == <number of days>.
+  bool drain = true;
+};
+
+/// What happened on one replay day (one Ingest round + one Advance).
+struct ReplayDayStats {
+  int day = 0;
+  /// Tweets ingested across all streams this day.
+  size_t tweets = 0;
+  /// Snapshot fits completed / deferred by the deadline.
+  size_t fits = 0;
+  size_t deferred = 0;
+  double ingest_ms = 0.0;
+  double advance_ms = 0.0;
+  /// Pacing wait before this day's release (0 when replaying flat out).
+  double wait_ms = 0.0;
+};
+
+/// Per-campaign totals over one replay run.
+struct CampaignReplayStats {
+  size_t campaign = 0;
+  /// Snapshots fitted / fits deferred by the deadline.
+  size_t snapshots = 0;
+  size_t deferred = 0;
+  /// Tweets that went through fitted snapshots.
+  size_t tweets = 0;
+  double solve_ms_total = 0.0;
+  double solve_ms_max = 0.0;
+
+  double MeanSolveMs() const {
+    return snapshots == 0 ? 0.0 : solve_ms_total / snapshots;
+  }
+};
+
+/// Aggregate outcome of ReplayDriver::Replay().
+struct ReplayStats {
+  std::vector<ReplayDayStats> days;
+  /// Indexed by engine campaign id (including campaigns without a stream).
+  std::vector<CampaignReplayStats> campaigns;
+  double wall_ms = 0.0;
+  size_t total_tweets = 0;
+  size_t total_fits = 0;
+  size_t total_deferred = 0;
+
+  /// Ingested tweets per wall-clock second (0 when nothing ran).
+  double TweetsPerSecond() const;
+  /// Mean / max Advance() latency over the replayed days.
+  double MeanAdvanceMs() const;
+  double MaxAdvanceMs() const;
+};
+
+/// Streams historical corpora through a CampaignEngine in day order at a
+/// configurable speed-up — the bridge between an on-disk corpus (ReadTsv)
+/// and the serving path the engine exposes to live traffic.
+///
+/// Each bound stream is a day-ordered Snapshot list feeding one engine
+/// campaign (register the campaign first; the driver never creates them).
+/// Replay() walks the union of days: it releases day d at its paced
+/// wall-clock time (immediately when unpaced), Ingests every stream's
+/// tweets for that day, then drives one engine Advance() whose reports are
+/// folded into ReplayStats and forwarded to the snapshot callback.
+///
+/// Determinism: pacing, speed-up, and the wall clock affect only *when*
+/// work happens. Without a deadline, the sequence of snapshots each
+/// campaign fits — and therefore every factor matrix — is bit-identical to
+/// a direct per-day MatrixBuilder::Build + SnapshotSolver::Solve loop over
+/// the same day splits (tests/replay_test.cc pins this). With a deadline,
+/// deferred days batch into later snapshots exactly as live deadline
+/// pressure would batch them.
+///
+/// Thread safety: confined to one caller thread, like the engine it
+/// drives; internal concurrency is the engine's Advance() sharding.
+class ReplayDriver {
+ public:
+  /// Observer invoked after each Advance() for every report (fitted and
+  /// deferred), in campaign-id order. `day` is the replay day, or the
+  /// day count for the final drain pass.
+  using SnapshotCallback =
+      std::function<void(int day, const CampaignEngine::SnapshotReport&)>;
+
+  /// `engine` is borrowed and must outlive the driver.
+  explicit ReplayDriver(CampaignEngine* engine);
+
+  /// Binds a day-ordered stream (entry d = the tweets released on day d)
+  /// to registered campaign `campaign`. One stream per campaign.
+  void AddStream(size_t campaign, std::vector<Snapshot> days);
+
+  /// Convenience: binds the whole corpus split one-snapshot-per-day. The
+  /// corpus must be the one the campaign was registered with.
+  void AddStream(size_t campaign, const Corpus& corpus);
+
+  /// Installs the per-snapshot observer (pass {} to remove).
+  void set_snapshot_callback(SnapshotCallback callback);
+
+  /// Number of days Replay() will walk (the longest bound stream).
+  int num_days() const;
+
+  /// Replays every bound stream through the engine. Can be called again to
+  /// replay further data; the engine keeps its evolved states.
+  ReplayStats Replay(const ReplayOptions& options = ReplayOptions());
+
+ private:
+  struct Stream {
+    size_t campaign = 0;
+    std::vector<Snapshot> days;
+  };
+
+  CampaignEngine* engine_;
+  std::vector<Stream> streams_;
+  SnapshotCallback callback_;
+};
+
+/// Partitions one corpus into `num_streams` author-disjoint topic streams:
+/// tweet t goes to stream (t.user mod num_streams), so each user's
+/// activity — and the retweet homophily around it — stays within one
+/// stream. Every stream gets the same number of day entries (the corpus's
+/// num_days), keeping campaign timesteps aligned. Deterministic.
+///
+/// This is how a single real collection exercises multi-campaign serving:
+/// feed stream s to campaign s via ReplayDriver::AddStream.
+std::vector<std::vector<Snapshot>> PartitionIntoStreams(const Corpus& corpus,
+                                                        size_t num_streams);
+
+}  // namespace serving
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_SERVING_REPLAY_H_

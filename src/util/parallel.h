@@ -37,17 +37,27 @@ namespace triclust {
 /// the thread count plumbed through every kernel call.
 
 /// Sets the process-wide thread count used by subsequent kernel calls.
+/// Thread safety: atomic store, callable from any thread — but because
+/// the setting is process-global, changing it while another thread is
+/// inside a fit changes *that* fit's behavior too; see the contract above.
 void SetNumThreads(int n);
 
-/// The configured thread count (0 = auto).
+/// The configured thread count (0 = auto). Thread safety: atomic load,
+/// callable from any thread.
 int GetNumThreads();
 
-/// The resolved concurrent-thread budget, always ≥ 1.
+/// The resolved concurrent-thread budget, always ≥ 1 (0 resolved through
+/// hardware_concurrency). Thread safety: callable from any thread.
 int EffectiveNumThreads();
 
 /// RAII: sets the process-wide thread count for a scope (one solver fit),
 /// restoring the previous value on destruction. This is how
 /// TriClusterConfig::num_threads flows from a clusterer into the kernels.
+///
+/// Thread safety: the guarded setting is PROCESS-GLOBAL, so two scopes
+/// live on different threads stomp each other's value (and the restore
+/// order is last-destroyed-wins). Use one scope at a time per process —
+/// or ScopedSerialKernels, which is per-thread, for concurrent fits.
 class ScopedNumThreads {
  public:
   explicit ScopedNumThreads(int n);
@@ -71,6 +81,10 @@ class ScopedNumThreads {
 /// inline, on a pool worker, or next to seven sibling fits. (Kernels
 /// running *inside* a pool job already degrade to serial; this scope makes
 /// that guarantee explicit and independent of how the fit was scheduled.)
+///
+/// Thread safety: the guarded flag is thread-local, so scopes on
+/// different threads are fully independent — this is the concurrency-safe
+/// counterpart of ScopedNumThreads.
 class ScopedSerialKernels {
  public:
   ScopedSerialKernels();
@@ -88,6 +102,11 @@ class ScopedSerialKernels {
 /// thread count of 1 — or when called from inside another parallel region —
 /// runs body(begin, end) inline.
 ///
+/// Thread safety: callable from any thread, including pool workers (the
+/// nested call degrades to the inline serial path rather than deadlocking
+/// on the pool). The caller must ensure bodies on different sub-ranges
+/// touch disjoint data.
+///
 /// Bodies should not throw: an exception on the calling thread is
 /// propagated only after all pool workers drained the job, and an
 /// exception on a worker thread terminates the process (std::thread
@@ -99,6 +118,8 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
 /// Sum of chunk_sum(chunk_begin, chunk_end) over fixed-size chunks of
 /// [begin, end), combined in chunk order (see determinism contract above).
 /// `grain` is the fixed chunk size and must not depend on the thread count.
+/// Thread safety: as ParallelFor; chunk_sum must be a pure function of its
+/// range (it may run on any thread, in any order).
 double ParallelReduce(size_t begin, size_t end, size_t grain,
                       const std::function<double(size_t, size_t)>& chunk_sum);
 

@@ -1,6 +1,7 @@
 #include "src/util/string_util.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -97,6 +98,13 @@ bool ParseSizeT(std::string_view text, size_t* out) {
   if (end != buf.c_str() + buf.size()) return false;
   *out = static_cast<size_t>(v);
   return true;
+}
+
+bool ParseInt64(std::string_view text, long long* out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
 }
 
 std::string StrFormat(const char* fmt, ...) {

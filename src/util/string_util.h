@@ -32,6 +32,10 @@ bool ParseDouble(std::string_view text, double* out);
 /// Parses a non-negative integer; returns false on malformed input.
 bool ParseSizeT(std::string_view text, size_t* out);
 
+/// Parses a signed integer; returns false on malformed or trailing
+/// garbage (no whitespace trimming — fields are expected pre-trimmed).
+bool ParseInt64(std::string_view text, long long* out);
+
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));

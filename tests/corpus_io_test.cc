@@ -1,0 +1,317 @@
+/// Tests of the corpus TSV loaders (src/data/corpus_io.h): lossless
+/// round-trip including temporal labels and escaped text, legacy-format
+/// compatibility, and line-numbered diagnostics for malformed input.
+
+#include "src/data/corpus_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+
+namespace triclust {
+namespace {
+
+Corpus RichCorpus() {
+  Corpus c;
+  const size_t alice = c.AddUser("alice", Sentiment::kPositive);
+  const size_t bob = c.AddUser("bob", Sentiment::kNegative);
+  c.AddUser("carol");  // unlabeled, never tweets
+  c.AddTweet(alice, 0, "yes on 37", Sentiment::kPositive);
+  c.AddTweet(bob, 1, "no on 37", Sentiment::kNegative);
+  c.AddTweet(alice, 2, "tab\there newline\nthere backslash\\done",
+             Sentiment::kNeutral);
+  c.AddTweet(bob, 2, "yes on 37", Sentiment::kPositive, /*retweet_of=*/0);
+  c.SetUserSentimentAt(alice, 1, Sentiment::kNegative);
+  c.SetUserSentimentAt(bob, 2, Sentiment::kPositive);
+  return c;
+}
+
+void ExpectSameCorpus(const Corpus& got, const Corpus& expected) {
+  ASSERT_EQ(got.num_users(), expected.num_users());
+  ASSERT_EQ(got.num_tweets(), expected.num_tweets());
+  for (size_t u = 0; u < expected.num_users(); ++u) {
+    EXPECT_EQ(got.user(u).handle, expected.user(u).handle);
+    EXPECT_EQ(got.user(u).label, expected.user(u).label);
+  }
+  for (size_t i = 0; i < expected.num_tweets(); ++i) {
+    EXPECT_EQ(got.tweet(i).user, expected.tweet(i).user);
+    EXPECT_EQ(got.tweet(i).day, expected.tweet(i).day);
+    EXPECT_EQ(got.tweet(i).text, expected.tweet(i).text);
+    EXPECT_EQ(got.tweet(i).label, expected.tweet(i).label);
+    EXPECT_EQ(got.tweet(i).retweet_of, expected.tweet(i).retweet_of);
+  }
+  EXPECT_EQ(got.HasTemporalUserLabels(), expected.HasTemporalUserLabels());
+  for (size_t u = 0; u < expected.num_users(); ++u) {
+    for (int day = 0; day < 4; ++day) {
+      EXPECT_EQ(got.ExplicitUserSentimentAt(u, day),
+                expected.ExplicitUserSentimentAt(u, day))
+          << "user " << u << " day " << day;
+    }
+  }
+}
+
+TEST(CorpusIoTest, StreamRoundTripIsLossless) {
+  const Corpus original = RichCorpus();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTsv(original, &out).ok());
+  std::istringstream in(out.str());
+  auto loaded = ReadTsv(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameCorpus(loaded.value(), original);
+}
+
+TEST(CorpusIoTest, FileRoundTripIsLossless) {
+  const Corpus original = RichCorpus();
+  const std::string path = ::testing::TempDir() + "/corpus_io_roundtrip.tsv";
+  ASSERT_TRUE(WriteTsv(original, path).ok());
+  auto loaded = ReadTsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameCorpus(loaded.value(), original);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, SyntheticCorpusRoundTrips) {
+  // The generator produces temporal labels, retweets, and emoticon tokens —
+  // the full feature surface of the format on a realistic corpus.
+  SyntheticConfig config;
+  config.num_users = 40;
+  config.num_days = 5;
+  config.base_tweets_per_day = 40.0;
+  config.burst_days = {};
+  const Corpus original = GenerateSynthetic(config).corpus;
+  ASSERT_TRUE(original.HasTemporalUserLabels());
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTsv(original, &out).ok());
+  std::istringstream in(out.str());
+  auto loaded = ReadTsv(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameCorpus(loaded.value(), original);
+}
+
+TEST(CorpusIoTest, EscapingRoundTripsEveryControlCharacter) {
+  const std::string text = "a\tb\nc\rd\\e\\tf";
+  EXPECT_EQ(UnescapeTsvField(EscapeTsvField(text)), text);
+  // Escaped form is tab- and newline-free (one record per line holds).
+  const std::string escaped = EscapeTsvField(text);
+  EXPECT_EQ(escaped.find('\t'), std::string::npos);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  // Unknown escapes pass through so legacy raw backslashes survive.
+  EXPECT_EQ(UnescapeTsvField("legacy \\x path"), "legacy \\x path");
+}
+
+TEST(CorpusIoTest, ReadsLegacyIntegerLabelFormat) {
+  // The pre-corpus_io writer: "#users" banner, integer labels, no D rows.
+  const std::string legacy =
+      "#users\t2\n"
+      "U\t0\talice\t0\n"
+      "U\t1\tbob\t-1\n"
+      "T\t0\t0\t0\t0\t-1\thello world\n"
+      "T\t1\t1\t2\t1\t0\thello again\n";
+  std::istringstream in(legacy);
+  auto loaded = ReadTsv(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Corpus& c = loaded.value();
+  EXPECT_EQ(c.user(0).label, Sentiment::kPositive);
+  EXPECT_EQ(c.user(1).label, Sentiment::kUnlabeled);
+  EXPECT_EQ(c.tweet(1).label, Sentiment::kNegative);
+  EXPECT_EQ(c.tweet(1).retweet_of, 0);
+  EXPECT_FALSE(c.HasTemporalUserLabels());
+}
+
+TEST(CorpusIoTest, LegacyBannerDisablesUnescaping) {
+  // The legacy writer never escaped, so a literal backslash-t in its text
+  // is two bytes of text, not a tab; the "#users" banner must switch the
+  // reader to raw fields. Without the banner the same bytes decode.
+  const std::string body =
+      "U\t0\talice\t0\n"
+      "T\t0\t0\t0\t0\t-1\tsaved to C:\\temp today\n";
+  {
+    std::istringstream in("#users\t1\n" + body);
+    auto loaded = ReadTsv(&in);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded.value().tweet(0).text, "saved to C:\\temp today");
+  }
+  {
+    std::istringstream in(body);
+    auto loaded = ReadTsv(&in);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded.value().tweet(0).text, "saved to C:\temp today");
+  }
+  {
+    // The banner only counts on line 1: a stray "#users" comment later in
+    // a new-format file must not disable unescaping mid-stream.
+    std::istringstream in("# new format\n#users\t1\n" + body);
+    auto loaded = ReadTsv(&in);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded.value().tweet(0).text, "saved to C:\temp today");
+  }
+  {
+    // Legacy mode is byte-exact like the old loader: a trailing raw CR in
+    // legacy text is content, not a CRLF artifact, and must survive.
+    std::istringstream in(
+        "#users\t1\n"
+        "U\t0\talice\t0\n"
+        "T\t0\t0\t0\t0\t-1\ttrailing cr\r\n");
+    auto loaded = ReadTsv(&in);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded.value().tweet(0).text, "trailing cr\r");
+  }
+}
+
+TEST(CorpusIoTest, AcceptsCrlfLineEndings) {
+  // Externally-prepared TSVs often arrive with CRLF endings; the trailing
+  // CR must not corrupt the last field (text on T rows, label on U rows).
+  const std::string crlf =
+      "U\t0\talice\tpos\r\n"
+      "T\t0\t0\t0\tpos\t-1\thello world\r\n";
+  std::istringstream in(crlf);
+  auto loaded = ReadTsv(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().user(0).label, Sentiment::kPositive);
+  EXPECT_EQ(loaded.value().tweet(0).text, "hello world");
+  // A real CR in text still round-trips via its escape, CRLF or not.
+  Corpus with_cr;
+  with_cr.AddTweet(with_cr.AddUser("u"), 0, "line\rwith cr");
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTsv(with_cr, &out).ok());
+  std::istringstream back(out.str());
+  auto reloaded = ReadTsv(&back);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value().tweet(0).text, "line\rwith cr");
+}
+
+TEST(CorpusIoTest, WarnsButAcceptsLargeEmptyDayPrefix) {
+  // Absolute-epoch-style day numbers pass range validation; the reader
+  // must still accept them (they are formally valid) — the warning path
+  // is exercised here, the parse result is what we pin.
+  const std::string contents =
+      "U\t0\talice\tpos\n"
+      "T\t0\t0\t20600\tpos\t-1\thello from epoch land\n";
+  std::istringstream in(contents);
+  auto loaded = ReadTsv(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().tweet(0).day, 20600);
+  EXPECT_EQ(loaded.value().num_days(), 20601);
+
+  // Epoch-style days on D rows alone take the same warn-but-accept path.
+  const std::string d_only =
+      "U\t0\talice\tpos\n"
+      "D\t0\t20600\tneg\n"
+      "T\t0\t0\t0\tpos\t-1\thello\n";
+  std::istringstream d_in(d_only);
+  auto d_loaded = ReadTsv(&d_in);
+  ASSERT_TRUE(d_loaded.ok()) << d_loaded.status().ToString();
+  EXPECT_EQ(d_loaded.value().ExplicitUserSentimentAt(0, 20600),
+            Sentiment::kNegative);
+}
+
+// --- diagnostics -------------------------------------------------------------
+
+Status ParseFailure(const std::string& contents) {
+  std::istringstream in(contents);
+  const auto result = ReadTsv(&in, "test.tsv");
+  EXPECT_FALSE(result.ok()) << "expected a parse failure";
+  return result.ok() ? Status::OK() : result.status();
+}
+
+TEST(CorpusIoTest, RejectsBadColumnCountWithLineNumber) {
+  const Status status =
+      ParseFailure("U\t0\talice\tpos\nT\t0\t0\t0\tpos\t-1\n");
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.message().find("test.tsv:2:"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("7 fields"), std::string::npos)
+      << status.message();
+}
+
+TEST(CorpusIoTest, RejectsDanglingRetweet) {
+  // retweet_of must point at an *earlier* tweet: forward and self
+  // references are dangling at the time the row is read.
+  const Status forward = ParseFailure(
+      "U\t0\talice\tpos\n"
+      "T\t0\t0\t0\tpos\t5\tqt\n");
+  EXPECT_EQ(forward.code(), StatusCode::kParseError);
+  EXPECT_NE(forward.message().find("earlier tweet"), std::string::npos)
+      << forward.message();
+
+  const Status self = ParseFailure(
+      "U\t0\talice\tpos\n"
+      "T\t0\t0\t0\tpos\t0\tqt\n");
+  EXPECT_EQ(self.code(), StatusCode::kParseError);
+}
+
+TEST(CorpusIoTest, RejectsOutOfRangeDay) {
+  const Status negative = ParseFailure(
+      "U\t0\talice\tpos\n"
+      "T\t0\t0\t-3\tpos\t-1\thello\n");
+  EXPECT_EQ(negative.code(), StatusCode::kParseError);
+  EXPECT_NE(negative.message().find("out of range"), std::string::npos)
+      << negative.message();
+
+  const Status huge = ParseFailure(
+      "U\t0\talice\tpos\n"
+      "T\t0\t0\t99999999\tpos\t-1\thello\n");
+  EXPECT_EQ(huge.code(), StatusCode::kParseError);
+
+  const Status bad_label_day = ParseFailure(
+      "U\t0\talice\tpos\n"
+      "D\t0\t-1\tneg\n");
+  EXPECT_EQ(bad_label_day.code(), StatusCode::kParseError);
+}
+
+TEST(CorpusIoTest, RejectsUndefinedUserReferences) {
+  EXPECT_NE(ParseFailure("T\t0\t7\t0\tpos\t-1\thello\n")
+                .message()
+                .find("undefined user"),
+            std::string::npos);
+  EXPECT_NE(ParseFailure("D\t7\t0\tneg\n").message().find("undefined user"),
+            std::string::npos);
+}
+
+TEST(CorpusIoTest, RejectsNonContiguousIds) {
+  const Status user_gap = ParseFailure("U\t1\talice\tpos\n");
+  EXPECT_NE(user_gap.message().find("non-contiguous"), std::string::npos);
+  const Status tweet_gap = ParseFailure(
+      "U\t0\talice\tpos\n"
+      "T\t3\t0\t0\tpos\t-1\thello\n");
+  EXPECT_NE(tweet_gap.message().find("non-contiguous"), std::string::npos);
+}
+
+TEST(CorpusIoTest, RejectsUnknownLabelsAndTags) {
+  EXPECT_NE(ParseFailure("U\t0\talice\tgreat\n").message().find("label"),
+            std::string::npos);
+  EXPECT_NE(ParseFailure("X\twhat\n").message().find("unknown row tag"),
+            std::string::npos);
+  // D rows must carry a real label: an unlabeled annotation is meaningless.
+  EXPECT_NE(ParseFailure("U\t0\talice\tpos\nD\t0\t0\tunlabeled\n")
+                .message()
+                .find("pos/neg/neu"),
+            std::string::npos);
+}
+
+TEST(CorpusIoTest, MissingFileIsIoError) {
+  const auto result = ReadTsv("/nonexistent/path/corpus.tsv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(CorpusIoTest, WriteTsvToPathIsAtomic) {
+  // An existing file is replaced through temp+rename: after a successful
+  // write no temporary remains and the contents parse.
+  const std::string path = ::testing::TempDir() + "/corpus_io_atomic.tsv";
+  { std::ofstream previous(path); previous << "not a corpus"; }
+  ASSERT_TRUE(WriteTsv(RichCorpus(), path).ok());
+  auto loaded = ReadTsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_tweets(), RichCorpus().num_tweets());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace triclust

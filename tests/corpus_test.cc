@@ -91,7 +91,9 @@ TEST(CorpusTest, SaveLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
-TEST(CorpusTest, SaveSanitizesTabsAndNewlines) {
+TEST(CorpusTest, SaveEscapesTabsAndNewlinesLosslessly) {
+  // Historically tabs/newlines were flattened to spaces; the corpus_io
+  // escaping (docs/FORMATS.md) round-trips the exact bytes instead.
   Corpus c;
   const size_t u = c.AddUser("u");
   c.AddTweet(u, 0, "has\ttab and\nnewline");
@@ -99,7 +101,7 @@ TEST(CorpusTest, SaveSanitizesTabsAndNewlines) {
   ASSERT_TRUE(c.SaveTsv(path).ok());
   auto loaded = Corpus::LoadTsv(path);
   ASSERT_TRUE(loaded.ok());
-  EXPECT_EQ(loaded.value().tweet(0).text, "has tab and newline");
+  EXPECT_EQ(loaded.value().tweet(0).text, "has\ttab and\nnewline");
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fails when a repo markdown file contains a broken relative link.
+
+Scans every tracked *.md file, extracts inline links ``[text](target)``,
+and verifies that each relative target (optionally with a #fragment)
+exists on disk. External schemes (http/https/mailto) and pure-fragment
+links are skipped. Used by the CI docs job; run locally as
+``python3 tools/check_markdown_links.py`` from anywhere in the repo.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+# Inline markdown link whose target does not start with a scheme or '#'.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def repo_root() -> str:
+    out = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
+def markdown_files(root: str):
+    # Cached + untracked-but-not-ignored, so new docs are checked before
+    # they are ever committed.
+    out = subprocess.run(
+        ["git", "ls-files", "-c", "-o", "--exclude-standard",
+         "*.md", "**/*.md"],
+        capture_output=True, text=True, check=True, cwd=root)
+    return sorted({line for line in out.stdout.splitlines() if line})
+
+
+def main() -> int:
+    root = repo_root()
+    broken = []
+    for md in markdown_files(root):
+        md_path = os.path.join(root, md)
+        # Link syntax is ASCII; don't let a stray non-UTF-8 byte elsewhere
+        # in a file turn the check into a decode traceback.
+        with open(md_path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md_path), path))
+            if not os.path.exists(resolved):
+                line = text.count("\n", 0, match.start()) + 1
+                broken.append(f"{md}:{line}: broken link -> {target}")
+    for entry in broken:
+        print(entry)
+    if broken:
+        print(f"{len(broken)} broken relative link(s)")
+        return 1
+    print("all relative markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
