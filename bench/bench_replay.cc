@@ -1,7 +1,8 @@
 /// Replay-path benchmarks: corpus TSV loader throughput, replay-driver
 /// throughput as the corpus is partitioned into more concurrent topic
-/// streams, pacing accuracy across speed-ups, and deferral behavior under
-/// deadline stress. Complements bench_serving (which feeds the engine from
+/// streams, pacing accuracy across speed-ups, the scoring overhead of the
+/// replay-driven evaluation harness, and deferral behavior under deadline
+/// stress. Complements bench_serving (which feeds the engine from
 /// pre-split synthetic snapshots): here every corpus goes through the
 /// on-disk TSV round trip first, exactly like an external dataset would.
 
@@ -13,6 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "src/data/corpus_io.h"
+#include "src/eval/timeline_eval.h"
 #include "src/serving/replay.h"
 #include "src/util/stopwatch.h"
 #include "src/util/table_writer.h"
@@ -147,6 +149,49 @@ void RunSpeedupSweep(const LoadedCorpus& data) {
   table.Print(std::cout);
 }
 
+void RunEvalSweep(const LoadedCorpus& data) {
+  bench_util::PrintHeader(
+      "Replay-driven evaluation: per-day accuracy timelines scored while "
+      "replaying (src/eval/timeline_eval.h)");
+  TableWriter table(
+      "Timeline eval riding a flat-out replay; eval ms is the total "
+      "scoring overhead added to the run");
+  table.SetHeader({"streams", "snapshots", "tweets scored", "tweet acc",
+                   "user acc", "tweet NMI", "eval ms", "replay ms"});
+  for (const size_t num_streams : {1, 2, 4}) {
+    serving::CampaignEngine engine;
+    const auto streams =
+        serving::PartitionIntoStreams(data.corpus, num_streams);
+    for (size_t s = 0; s < streams.size(); ++s) {
+      engine.AddCampaign("topic-" + std::to_string(s), ReplayConfig(),
+                         data.sf0, data.builder, &data.corpus);
+    }
+    serving::ReplayDriver driver(&engine);
+    for (size_t s = 0; s < streams.size(); ++s) {
+      driver.AddStream(s, streams[s]);
+    }
+    TimelineEvaluator evaluator(&engine);
+    double eval_ms = 0.0;
+    driver.AddObserver(
+        [&](int day, const serving::CampaignEngine::SnapshotReport& r) {
+          const Stopwatch score_clock;
+          evaluator.Observe(day, r);
+          eval_ms += score_clock.ElapsedMillis();
+        });
+    const serving::ReplayStats stats = driver.Replay();
+    const TimelineAggregate aggregate = evaluator.RunAggregate();
+    table.AddRow({std::to_string(num_streams),
+                  std::to_string(aggregate.snapshots),
+                  std::to_string(aggregate.tweets_scored),
+                  TableWriter::Num(aggregate.tweet_accuracy, 3),
+                  TableWriter::Num(aggregate.user_accuracy, 3),
+                  TableWriter::Num(aggregate.tweet_nmi, 3),
+                  TableWriter::Num(eval_ms, 1),
+                  TableWriter::Num(stats.wall_ms, 0)});
+  }
+  table.Print(std::cout);
+}
+
 void RunDeadlineSweep(const LoadedCorpus& data) {
   bench_util::PrintHeader(
       "Deadline-stressed replay: deferral rate vs per-Advance deadline");
@@ -182,6 +227,7 @@ int main() {
 
   triclust::RunPartitionSweep(data);
   triclust::RunSpeedupSweep(data);
+  triclust::RunEvalSweep(data);
   triclust::RunDeadlineSweep(data);
   return 0;
 }

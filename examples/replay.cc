@@ -7,18 +7,29 @@
 ///   replay [--input corpus.tsv] [--campaigns N] [--iters I] [--threads N]
 ///          [--day-interval-ms MS] [--speedup X] [--deadline-ms MS]
 ///          [--max-days D] [--store DIR] [--write-demo path.tsv]
-///          [--no-verify]
+///          [--eval-csv path.csv] [--require-metrics] [--no-verify]
 ///
 /// Without --input a demo corpus is generated, written to a TSV, and read
 /// back, so the run always exercises the on-disk loaders end-to-end;
 /// --write-demo keeps that TSV (or, with --input, re-exports the loaded
 /// corpus in the canonical format).
+///
+/// Every run scores the replay with the timeline evaluation harness
+/// (src/eval/timeline_eval.h): per-day tweet-level and user-level
+/// accuracy timelines are printed, --eval-csv writes them as CSV for
+/// plotting, and --require-metrics exits non-zero when the run scored no
+/// labeled items or produced non-finite aggregate metrics (the CI smoke
+/// test's guard against silently-empty evaluation).
+///
 /// Unless --no-verify (or a deadline reshapes the snapshots), the replayed
 /// per-campaign factors are checked bitwise against a direct
-/// MatrixBuilder::Build + SnapshotSolver::Solve loop over the same days.
+/// MatrixBuilder::Build + SnapshotSolver::Solve loop over the same days,
+/// and the replayed accuracy timeline is checked bit-for-bit against
+/// scoring that direct solve with the same harness.
 
 #include <unistd.h>
 
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -28,6 +39,7 @@
 #include "src/data/corpus_io.h"
 #include "src/data/matrix_builder.h"
 #include "src/data/synthetic.h"
+#include "src/eval/timeline_eval.h"
 #include "src/serving/campaign_store.h"
 #include "src/serving/replay.h"
 #include "src/text/lexicon.h"
@@ -48,6 +60,8 @@ struct CliOptions {
   int max_days = 0;
   std::string store_dir;
   std::string write_demo;
+  std::string eval_csv;
+  bool require_metrics = false;
   bool verify = true;
 };
 
@@ -56,7 +70,8 @@ int Fail(const std::string& why) {
             << "usage: replay [--input corpus.tsv] [--campaigns N] "
                "[--iters I] [--threads N] [--day-interval-ms MS] "
                "[--speedup X] [--deadline-ms MS] [--max-days D] "
-               "[--store DIR] [--write-demo path.tsv] [--no-verify]\n";
+               "[--store DIR] [--write-demo path.tsv] "
+               "[--eval-csv path.csv] [--require-metrics] [--no-verify]\n";
   return 1;
 }
 
@@ -113,6 +128,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->write_demo = v;
+    } else if (arg == "--eval-csv") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->eval_csv = v;
+    } else if (arg == "--require-metrics") {
+      options->require_metrics = true;
     } else if (arg == "--no-verify") {
       options->verify = false;
     } else {
@@ -200,36 +221,101 @@ int RunReplay(const CliOptions& options) {
         replayed_sizes[r.campaign].push_back(r.data.num_tweets());
       });
 
+  // The evaluation harness rides along as an additional observer and
+  // scores every fitted snapshot against the corpus ground truth.
+  TimelineEvaluator evaluator(&engine);
+  evaluator.Attach(&driver);
+
   serving::ReplayOptions replay_options;
   replay_options.day_interval_ms = options.day_interval_ms;
   replay_options.speedup = options.speedup;
   replay_options.deadline_ms = options.deadline_ms;
   replay_options.max_days = options.max_days;
-  const serving::ReplayStats stats = driver.Replay(replay_options);
+  serving::ReplayStats stats = driver.Replay(replay_options);
+  evaluator.Annotate(&stats);
 
   // --- report ---------------------------------------------------------------
   TableWriter day_table("Replay timeline (one row per replayed day)");
   day_table.SetHeader({"day", "tweets", "fits", "deferred", "wait ms",
-                       "advance ms"});
+                       "advance ms", "tweet acc", "user acc"});
   for (const auto& d : stats.days) {
     day_table.AddRow({std::to_string(d.day), std::to_string(d.tweets),
                       std::to_string(d.fits), std::to_string(d.deferred),
                       TableWriter::Num(d.wait_ms, 1),
-                      TableWriter::Num(d.advance_ms, 1)});
+                      TableWriter::Num(d.advance_ms, 1),
+                      TableWriter::Num(d.tweet_accuracy, 3),
+                      TableWriter::Num(d.user_accuracy, 3)});
   }
   day_table.Print(std::cout);
 
   TableWriter campaign_table("Per-campaign replay stats");
   campaign_table.SetHeader({"campaign", "snapshots", "deferred", "tweets",
-                            "mean solve ms", "max solve ms"});
+                            "mean solve ms", "max solve ms", "tweet acc",
+                            "user acc"});
   for (const auto& c : stats.campaigns) {
     campaign_table.AddRow(
         {engine.name(c.campaign), std::to_string(c.snapshots),
          std::to_string(c.deferred), std::to_string(c.tweets),
          TableWriter::Num(c.MeanSolveMs(), 1),
-         TableWriter::Num(c.solve_ms_max, 1)});
+         TableWriter::Num(c.solve_ms_max, 1),
+         TableWriter::Num(c.tweet_accuracy, 3),
+         TableWriter::Num(c.user_accuracy, 3)});
   }
   campaign_table.Print(std::cout);
+
+  // --- accuracy timeline ----------------------------------------------------
+  TableWriter eval_table(
+      "Accuracy timeline (one row per fitted snapshot; '-' = nothing "
+      "scored)");
+  eval_table.SetHeader({"day", "campaign", "tweets scored", "tweet acc",
+                        "tweet perm", "tweet NMI", "users scored",
+                        "user acc", "user perm", "user NMI"});
+  for (const auto& timeline : evaluator.timelines()) {
+    for (const SnapshotScore& s : timeline.scores) {
+      eval_table.AddRow({std::to_string(s.day), timeline.name,
+                         std::to_string(s.tweets_scored),
+                         TableWriter::Num(s.tweet_accuracy, 3),
+                         TableWriter::Num(s.tweet_permutation_accuracy, 3),
+                         TableWriter::Num(s.tweet_nmi, 3),
+                         std::to_string(s.users_scored),
+                         TableWriter::Num(s.user_accuracy, 3),
+                         TableWriter::Num(s.user_permutation_accuracy, 3),
+                         TableWriter::Num(s.user_nmi, 3)});
+    }
+  }
+  eval_table.Print(std::cout);
+
+  const TimelineAggregate aggregate = evaluator.RunAggregate();
+  std::cout << "run accuracy (micro): tweet "
+            << TableWriter::Num(aggregate.tweet_accuracy, 3) << " over "
+            << aggregate.tweets_scored << " scored tweets, user "
+            << TableWriter::Num(aggregate.user_accuracy, 3) << " over "
+            << aggregate.users_scored << " scored users ("
+            << aggregate.snapshots_scored << "/" << aggregate.snapshots
+            << " snapshots scored)\n";
+
+  if (!options.eval_csv.empty()) {
+    const Status written = evaluator.WriteCsvFile(options.eval_csv);
+    if (!written.ok()) {
+      return Fail("eval csv write failed: " + written.ToString());
+    }
+    std::cout << "wrote accuracy timeline CSV to " << options.eval_csv
+              << "\n";
+  }
+
+  if (options.require_metrics) {
+    const bool scored =
+        aggregate.tweets_scored > 0 && aggregate.users_scored > 0 &&
+        std::isfinite(aggregate.tweet_accuracy) &&
+        std::isfinite(aggregate.user_accuracy) &&
+        std::isfinite(aggregate.tweet_nmi) &&
+        std::isfinite(aggregate.user_nmi);
+    if (!scored) {
+      return Fail(
+          "--require-metrics: evaluation produced no scored items or "
+          "non-finite aggregate metrics");
+    }
+  }
 
   std::cout << "replayed " << stats.total_tweets << " tweets over "
             << stats.days.size() << " days in "
@@ -254,11 +340,32 @@ int RunReplay(const CliOptions& options) {
                    "boundaries, so a direct per-day run is not comparable\n";
       return 0;
     }
+    // Bitwise double comparison where NaN (nothing scored) matches NaN.
+    const auto same_metric = [](double a, double b) {
+      return (std::isnan(a) && std::isnan(b)) || a == b;
+    };
+    const auto same_score = [&](const SnapshotScore& got,
+                                const SnapshotScore& expected) {
+      return got.day == expected.day &&
+             got.tweets_scored == expected.tweets_scored &&
+             got.users_scored == expected.users_scored &&
+             same_metric(got.tweet_accuracy, expected.tweet_accuracy) &&
+             same_metric(got.tweet_permutation_accuracy,
+                         expected.tweet_permutation_accuracy) &&
+             same_metric(got.tweet_nmi, expected.tweet_nmi) &&
+             same_metric(got.user_accuracy, expected.user_accuracy) &&
+             same_metric(got.user_permutation_accuracy,
+                         expected.user_permutation_accuracy) &&
+             same_metric(got.user_nmi, expected.user_nmi);
+    };
     bool identical = true;
+    bool metrics_identical = true;
     for (size_t s = 0; s < streams.size(); ++s) {
       const SnapshotSolver solver(config, sf0);
       StreamState state;
       size_t cursor = 0;
+      const std::vector<SnapshotScore>& scores =
+          evaluator.timelines()[s].scores;
       const int days = options.max_days > 0
                            ? std::min<int>(options.max_days,
                                            static_cast<int>(streams[s].size()))
@@ -275,13 +382,26 @@ int RunReplay(const CliOptions& options) {
               replayed[s][cursor].sf == expected.sf)) {
           identical = false;
         }
+        // The replayed accuracy timeline must equal scoring the direct
+        // solve — same scoring kernel, bit-identical factors in, so every
+        // metric double must come out bit-for-bit equal.
+        if (cursor >= scores.size() ||
+            !same_score(scores[cursor],
+                        ScoreSnapshot(corpus, data, expected, day, s,
+                                      snap.last_day))) {
+          metrics_identical = false;
+        }
         ++cursor;
       }
       if (cursor != replayed[s].size()) identical = false;
+      if (cursor != scores.size()) metrics_identical = false;
     }
     std::cout << "replay vs direct per-day solve: "
               << (identical ? "bit-identical" : "MISMATCH (bug!)") << "\n";
-    return identical ? 0 : 1;
+    std::cout << "replayed accuracy timeline vs direct scoring: "
+              << (metrics_identical ? "bit-identical" : "MISMATCH (bug!)")
+              << "\n";
+    return identical && metrics_identical ? 0 : 1;
   }
   return 0;
 }

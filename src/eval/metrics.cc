@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 #include <map>
 
 #include "src/util/logging.h"
@@ -154,10 +153,9 @@ double PermutationAccuracy(const std::vector<int>& clusters,
   const LabeledPairs pairs = Filter(clusters, truth);
   if (pairs.clusters.empty()) return 0.0;
 
-  // Dense-remap cluster ids, then try every injective cluster→class map.
+  // Dense-remap cluster ids.
   std::map<int, int> remap;
   for (int c : pairs.clusters) remap.emplace(c, 0);
-  TRICLUST_CHECK_LE(remap.size(), 8u);
   int next = 0;
   for (auto& [id, dense] : remap) dense = next++;
   const size_t num_clusters = remap.size();
@@ -169,28 +167,32 @@ double PermutationAccuracy(const std::vector<int>& clusters,
                  [static_cast<size_t>(pairs.classes[i])];
   }
 
-  // Assign clusters to classes; with more clusters than classes the extras
-  // map to "no class" (score 0 for their items). Enumerate assignments of
-  // classes (plus a sentinel) to clusters recursively — tiny search space.
-  double best = 0.0;
-  std::vector<bool> class_used(kNumSentimentClasses, false);
-  std::function<void(size_t, size_t)> assign = [&](size_t cluster,
-                                                   size_t score) {
-    if (cluster == num_clusters) {
-      best = std::max(best, static_cast<double>(score));
-      return;
+  // Best one-to-one assignment: each class claims at most one cluster (and
+  // each cluster at most one class); clusters left without a class score 0
+  // for their items. Because the class side is tiny and fixed
+  // (kNumSentimentClasses = 3), the optimal matching falls out of a subset
+  // DP over class masks: dp[mask] = best score using the clusters seen so
+  // far with the assigned classes drawn from `mask`. Each cluster is
+  // folded in once (descending mask order keeps it injective), so the
+  // whole solve is O(num_clusters · 2^C · C) — linear in the cluster
+  // count. The previous cluster-side enumeration was exponential in it
+  // (and capped at 8 clusters with a CHECK), which made per-day timeline
+  // scoring crash or hang on real corpora with larger k.
+  constexpr int kNumMasks = 1 << kNumSentimentClasses;
+  std::vector<size_t> dp(kNumMasks, 0);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    for (int mask = kNumMasks - 1; mask > 0; --mask) {
+      for (int g = 0; g < kNumSentimentClasses; ++g) {
+        if ((mask & (1 << g)) == 0) continue;
+        dp[static_cast<size_t>(mask)] = std::max(
+            dp[static_cast<size_t>(mask)],
+            dp[static_cast<size_t>(mask ^ (1 << g))] +
+                contingency[c][static_cast<size_t>(g)]);
+      }
     }
-    assign(cluster + 1, score);  // leave this cluster unmapped
-    for (int g = 0; g < kNumSentimentClasses; ++g) {
-      if (class_used[static_cast<size_t>(g)]) continue;
-      class_used[static_cast<size_t>(g)] = true;
-      assign(cluster + 1,
-             score + contingency[cluster][static_cast<size_t>(g)]);
-      class_used[static_cast<size_t>(g)] = false;
-    }
-  };
-  assign(0, 0);
-  return best / static_cast<double>(pairs.clusters.size());
+  }
+  return static_cast<double>(dp[kNumMasks - 1]) /
+         static_cast<double>(pairs.clusters.size());
 }
 
 double AdjustedRandIndex(const std::vector<int>& clusters,

@@ -41,10 +41,11 @@ std::vector<Sentiment> MajorityVoteMapping(
 std::vector<Sentiment> ApplyMapping(const std::vector<int>& clusters,
                                     const std::vector<Sentiment>& mapping);
 
-/// Clustering accuracy under the *best one-to-one* cluster→class mapping
-/// (all permutations tried; requires ≤ 8 distinct cluster ids). Stricter
-/// than majority-vote accuracy, which may map two clusters onto one class:
-///   PermutationAccuracy ≤ ClusteringAccuracy always holds.
+/// Clustering accuracy under the *best one-to-one* cluster→class mapping.
+/// Stricter than majority-vote accuracy, which may map two clusters onto
+/// one class: PermutationAccuracy ≤ ClusteringAccuracy always holds.
+/// Solved exactly by a subset DP over the C = 3 sentiment classes —
+/// O(k·2^C) for k distinct cluster ids, safe for any cluster count.
 double PermutationAccuracy(const std::vector<int>& clusters,
                            const std::vector<Sentiment>& truth);
 

@@ -69,6 +69,15 @@ std::vector<double> CampaignEngine::UserSentiment(
   return campaigns_[campaign]->state.UserSentiment(corpus_user_id);
 }
 
+const Corpus& CampaignEngine::corpus(size_t campaign) const {
+  TRICLUST_CHECK_LT(campaign, campaigns_.size());
+  return *campaigns_[campaign]->corpus;
+}
+
+void CampaignEngine::set_fit_observer(FitObserver observer) {
+  fit_observer_ = std::move(observer);
+}
+
 const StreamState& CampaignEngine::state(size_t campaign) const {
   TRICLUST_CHECK_LT(campaign, campaigns_.size());
   return campaigns_[campaign]->state;
@@ -120,6 +129,7 @@ std::vector<CampaignEngine::SnapshotReport> CampaignEngine::Advance(
       Campaign& c = *campaigns_[targets[t]];
       ScopedSerialKernels serial_fit;
       const Stopwatch fit_clock;
+      report.label_day = c.pending_label_day;
       report.data = c.builder.EmitSnapshot(*c.corpus, c.pending_label_day);
       report.result =
           c.solver.Solve(report.data, &c.state, &report.info, &c.workspace);
@@ -131,6 +141,9 @@ std::vector<CampaignEngine::SnapshotReport> CampaignEngine::Advance(
             [](const SnapshotReport& a, const SnapshotReport& b) {
               return a.campaign < b.campaign;
             });
+  if (fit_observer_) {
+    for (const SnapshotReport& report : reports) fit_observer_(report);
+  }
   return reports;
 }
 

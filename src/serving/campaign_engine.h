@@ -1,6 +1,7 @@
 #ifndef TRICLUST_SRC_SERVING_CAMPAIGN_ENGINE_H_
 #define TRICLUST_SRC_SERVING_CAMPAIGN_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -95,6 +96,10 @@ class CampaignEngine {
   /// Id of the campaign with `name`, or -1 when unknown.
   ptrdiff_t FindCampaign(const std::string& name) const;
 
+  /// The corpus the campaign was registered with (evaluation harnesses map
+  /// snapshot row ids back into it — see src/eval/timeline_eval.h).
+  const Corpus& corpus(size_t campaign) const;
+
   /// Queues tweets for the campaign's next snapshot, vectorizing each once
   /// (O(new tweets)). `label_day` is the temporal ground-truth day used for
   /// the snapshot's user labels (-1 = static labels); the last value queued
@@ -137,7 +142,24 @@ class CampaignEngine {
     SnapshotSolver::SolveInfo info;
     /// Wall-clock cost of emit + fit, for load reporting.
     double solve_ms = 0.0;
+    /// Temporal ground-truth day `data.user_labels` was built against
+    /// (the label_day of the last Ingest before this fit; -1 = static
+    /// labels). Meaningful only when fitted.
+    int label_day = -1;
   };
+
+  /// Observer invoked synchronously for every report of every Advance()
+  /// (fitted and deferred, in campaign-id order) — the hook evaluation
+  /// harnesses use to score each completed fit against ground truth via
+  /// the report's row-id maps. Runs on the Advance() caller thread after
+  /// all fits finished, so it never perturbs fit results or their
+  /// sharding; it must not re-enter the engine.
+  using FitObserver = std::function<void(const SnapshotReport&)>;
+
+  /// Installs the fit observer (pass {} to remove). At most one; callers
+  /// needing fan-out can multiplex in their observer (ReplayDriver's
+  /// observer list does this for replay consumers).
+  void set_fit_observer(FitObserver observer);
 
   /// Advances every campaign with pending tweets (and idle ones when
   /// requested) by exactly one snapshot, sharding fits across the pool.
@@ -167,6 +189,7 @@ class CampaignEngine {
 
   Options options_;
   std::vector<std::unique_ptr<Campaign>> campaigns_;
+  FitObserver fit_observer_;
   /// Advance() calls so far; rotates the fit order for deadline fairness.
   uint64_t advance_count_ = 0;
 };

@@ -48,6 +48,11 @@ void ReplayDriver::set_snapshot_callback(SnapshotCallback callback) {
   callback_ = std::move(callback);
 }
 
+void ReplayDriver::AddObserver(SnapshotCallback observer) {
+  TRICLUST_CHECK(observer != nullptr);
+  observers_.push_back(std::move(observer));
+}
+
 int ReplayDriver::num_days() const {
   size_t days = 0;
   for (const Stream& s : streams_) days = std::max(days, s.days.size());
@@ -55,13 +60,19 @@ int ReplayDriver::num_days() const {
 }
 
 ReplayStats ReplayDriver::Replay(const ReplayOptions& options) {
-  TRICLUST_CHECK_GT(options.speedup, 0.0);
   TRICLUST_CHECK_GE(options.day_interval_ms, 0.0);
+  // speedup is documented as ignored when pacing is off (day_interval_ms
+  // == 0), so it is only validated — and only used — when pacing is on.
+  if (options.day_interval_ms > 0.0) {
+    TRICLUST_CHECK_GT(options.speedup, 0.0);
+  }
 
   int days = num_days();
   if (options.max_days > 0) days = std::min(days, options.max_days);
   const double effective_interval_ms =
-      options.day_interval_ms / options.speedup;
+      options.day_interval_ms > 0.0
+          ? options.day_interval_ms / options.speedup
+          : 0.0;
 
   ReplayStats stats;
   stats.campaigns.resize(engine_->num_campaigns());
@@ -80,11 +91,20 @@ ReplayStats ReplayDriver::Replay(const ReplayOptions& options) {
             c.tweets += report.data.num_tweets();
             c.solve_ms_total += report.solve_ms;
             c.solve_ms_max = std::max(c.solve_ms_max, report.solve_ms);
-          } else {
+          } else if (engine_->num_pending(report.campaign) > 0) {
+            // One deferral event per (day, campaign) whose *pending* fit
+            // the deadline skipped; its queue is intact, so num_pending
+            // still shows what was deferred. An idle campaign (empty
+            // queue, included via include_idle) that misses the deadline
+            // had no fit to defer and is not an event — counting it used
+            // to inflate every deferred total under deadline pressure.
             ++day_stats->deferred;
             ++c.deferred;
           }
           if (callback_) callback_(day, report);
+          for (const SnapshotCallback& observer : observers_) {
+            observer(day, report);
+          }
         }
         stats.total_fits += day_stats->fits;
         stats.total_deferred += day_stats->deferred;

@@ -2,6 +2,7 @@
 #define TRICLUST_SRC_SERVING_REPLAY_H_
 
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "src/data/corpus.h"
@@ -18,7 +19,9 @@ struct ReplayOptions {
   /// released the moment the previous Advance() returns.
   double day_interval_ms = 0.0;
   /// Replay acceleration: day d is released at d·day_interval_ms/speedup
-  /// after the run starts. Ignored when day_interval_ms is 0; must be > 0.
+  /// after the run starts. Must be > 0 when pacing is enabled
+  /// (day_interval_ms > 0); ignored — and not validated — when
+  /// day_interval_ms is 0.
   double speedup = 1.0;
   /// Per-Advance soft deadline forwarded to the engine (deadline-stressed
   /// mode): fits not started in time are deferred and their tweets fold
@@ -36,30 +39,68 @@ struct ReplayOptions {
   bool drain = true;
 };
 
+/// NaN sentinel for accuracy fields no evaluator has filled (TableWriter
+/// prints it as "-").
+inline constexpr double kUnscoredMetric =
+    std::numeric_limits<double>::quiet_NaN();
+
 /// What happened on one replay day (one Ingest round + one Advance).
+///
+/// Deferral accounting: `deferred` counts *deferral events* — campaigns
+/// whose pending fit was skipped by the deadline on this day. The same
+/// queued snapshot deferred on several consecutive days contributes one
+/// event per day (so Σ deferred over days can exceed the number of fits
+/// it eventually batches into), and a campaign with an empty queue that
+/// misses the deadline is NOT an event — there was no fit to defer. The
+/// drain pass runs without a deadline, so the drain day entry only ever
+/// records fits; tests/replay_test.cc pins these semantics.
 struct ReplayDayStats {
   int day = 0;
   /// Tweets ingested across all streams this day.
   size_t tweets = 0;
-  /// Snapshot fits completed / deferred by the deadline.
+  /// Snapshot fits completed / pending fits deferred by the deadline.
   size_t fits = 0;
   size_t deferred = 0;
   double ingest_ms = 0.0;
   double advance_ms = 0.0;
   /// Pacing wait before this day's release (0 when replaying flat out).
   double wait_ms = 0.0;
+
+  /// Accuracy of this day's fitted snapshots, micro-averaged over their
+  /// scored items across campaigns. Filled by
+  /// TimelineEvaluator::Annotate (src/eval/timeline_eval.h) when an
+  /// evaluator observed the run; NaN until then, and NaN when the day
+  /// scored no items.
+  size_t tweets_scored = 0;
+  size_t users_scored = 0;
+  double tweet_accuracy = kUnscoredMetric;
+  double user_accuracy = kUnscoredMetric;
+  double tweet_nmi = kUnscoredMetric;
+  double user_nmi = kUnscoredMetric;
 };
 
 /// Per-campaign totals over one replay run.
 struct CampaignReplayStats {
   size_t campaign = 0;
-  /// Snapshots fitted / fits deferred by the deadline.
+  /// Snapshots fitted / pending fits deferred by the deadline. `deferred`
+  /// counts deferral events (see ReplayDayStats), so snapshots + deferred
+  /// can exceed the replayed days under sustained deadline pressure.
   size_t snapshots = 0;
   size_t deferred = 0;
   /// Tweets that went through fitted snapshots.
   size_t tweets = 0;
   double solve_ms_total = 0.0;
   double solve_ms_max = 0.0;
+
+  /// Run-level accuracy micro-averaged over every scored item of the
+  /// campaign's fitted snapshots; filled by TimelineEvaluator::Annotate
+  /// like the per-day fields above.
+  size_t tweets_scored = 0;
+  size_t users_scored = 0;
+  double tweet_accuracy = kUnscoredMetric;
+  double user_accuracy = kUnscoredMetric;
+  double tweet_nmi = kUnscoredMetric;
+  double user_nmi = kUnscoredMetric;
 
   double MeanSolveMs() const {
     return snapshots == 0 ? 0.0 : solve_ms_total / snapshots;
@@ -123,8 +164,16 @@ class ReplayDriver {
   /// corpus must be the one the campaign was registered with.
   void AddStream(size_t campaign, const Corpus& corpus);
 
-  /// Installs the per-snapshot observer (pass {} to remove).
+  /// Installs the per-snapshot observer (pass {} to remove). Replaces any
+  /// previous set_snapshot_callback; observers added with AddObserver are
+  /// unaffected.
   void set_snapshot_callback(SnapshotCallback callback);
+
+  /// Appends an additional observer, invoked after the snapshot callback
+  /// in registration order — lets an evaluation harness
+  /// (TimelineEvaluator::Attach) and ad-hoc capture callbacks watch the
+  /// same run. Observers cannot be removed individually.
+  void AddObserver(SnapshotCallback observer);
 
   /// Number of days Replay() will walk (the longest bound stream).
   int num_days() const;
@@ -142,6 +191,7 @@ class ReplayDriver {
   CampaignEngine* engine_;
   std::vector<Stream> streams_;
   SnapshotCallback callback_;
+  std::vector<SnapshotCallback> observers_;
 };
 
 /// Partitions one corpus into `num_streams` author-disjoint topic streams:

@@ -179,6 +179,53 @@ TEST(CrossValidatedAccuracyTest, PerfectOracleScoresOne) {
   EXPECT_DOUBLE_EQ(acc, 1.0);
 }
 
+TEST(PermutationAccuracyTest, HandlesMoreThanEightClusters) {
+  // Regression: the pre-DP implementation enumerated cluster→class
+  // assignments recursively and CHECK-failed beyond 8 distinct cluster
+  // ids, so per-day timeline scoring could crash on real corpora. Twelve
+  // clusters, hand-computed optimum:
+  //   c0 = {P,P,P}, c1 = {N,N}, c2 = {U,U,U,U}, c3..c11 = {P} each.
+  // Best one-to-one map P→c0 (3) + N→c1 (2) + U→c2 (4) = 9 of 18.
+  std::vector<int> clusters = {0, 0, 0, 1, 1, 2, 2, 2, 2};
+  std::vector<Sentiment> truth = {P, P, P, N, N, U, U, U, U};
+  for (int c = 3; c < 12; ++c) {
+    clusters.push_back(c);
+    truth.push_back(P);
+  }
+  EXPECT_DOUBLE_EQ(PermutationAccuracy(clusters, truth), 9.0 / 18.0);
+}
+
+TEST(PermutationAccuracyTest, LargeClusterCountStaysFast) {
+  // 5000 singleton clusters, round-robin classes. The optimum picks one
+  // cluster per class: 3 / 5000. Exponential-in-clusters enumeration
+  // would never finish here; the subset DP is linear in the cluster
+  // count.
+  const int k = 5000;
+  std::vector<int> clusters(k);
+  std::vector<Sentiment> truth(k);
+  for (int i = 0; i < k; ++i) {
+    clusters[i] = i;
+    truth[i] = SentimentFromIndex(i % kNumSentimentClasses);
+  }
+  EXPECT_DOUBLE_EQ(PermutationAccuracy(clusters, truth),
+                   3.0 / static_cast<double>(k));
+}
+
+TEST(PermutationAccuracyTest, ManyClustersStillBoundedByMajorityVote) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int> clusters(200);
+    std::vector<Sentiment> truth(200);
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      clusters[i] = static_cast<int>(rng.NextUint64Below(20));
+      truth[i] =
+          SentimentFromIndex(static_cast<int>(rng.NextUint64Below(3)));
+    }
+    EXPECT_LE(PermutationAccuracy(clusters, truth),
+              ClusteringAccuracy(clusters, truth) + 1e-12);
+  }
+}
+
 TEST(CrossValidatedAccuracyTest, HidesFoldLabelsFromTrainer) {
   std::vector<Sentiment> truth(40, P);
   const double acc = CrossValidatedAccuracy(

@@ -171,6 +171,157 @@ TEST(ReplayTest, DeadlineDefersAndDrainCatchesUp) {
   EXPECT_EQ(stats.campaigns[0].tweets, corpus.num_tweets());
 }
 
+TEST(ReplayTest, SpeedupIgnoredWhenPacingDisabled) {
+  // Regression: Replay() used to CHECK speedup > 0 unconditionally, even
+  // though replay.h documents speedup as ignored when day_interval_ms is
+  // 0 — an unpaced run with a zero speedup crashed instead of replaying.
+  SmallProblem problem = MakeSmallProblem(5);
+  const Corpus& corpus = problem.dataset.corpus;
+  serving::CampaignEngine engine;
+  engine.AddCampaign("c0", FastConfig(), problem.sf0, problem.builder,
+                     &corpus);
+  serving::ReplayDriver driver(&engine);
+  driver.AddStream(0, corpus);
+
+  serving::ReplayOptions options;
+  options.day_interval_ms = 0.0;  // pacing off → speedup must be ignored
+  options.speedup = 0.0;
+  const serving::ReplayStats stats = driver.Replay(options);
+  EXPECT_EQ(stats.total_tweets, corpus.num_tweets());
+  EXPECT_EQ(stats.days.size(), static_cast<size_t>(corpus.num_days()));
+  for (const auto& d : stats.days) EXPECT_DOUBLE_EQ(d.wait_ms, 0.0);
+}
+
+TEST(ReplayDeathTest, PacedReplayStillRejectsNonPositiveSpeedup) {
+  SmallProblem problem = MakeSmallProblem(5);
+  const Corpus& corpus = problem.dataset.corpus;
+  serving::CampaignEngine engine;
+  engine.AddCampaign("c0", FastConfig(), problem.sf0, problem.builder,
+                     &corpus);
+  serving::ReplayDriver driver(&engine);
+  driver.AddStream(0, corpus);
+
+  serving::ReplayOptions options;
+  options.day_interval_ms = 10.0;  // pacing on → speedup is validated
+  options.speedup = 0.0;
+  EXPECT_DEATH(driver.Replay(options), "check failed");
+}
+
+TEST(ReplayTest, DeferralEventAccountingAcrossDrain) {
+  // Pins the deferral semantics documented on ReplayDayStats: `deferred`
+  // counts per-day deferral events, so one queued fit deferred every day
+  // yields one event per day; the drain pass runs deadline-free, so the
+  // drain entry records only the batched fit and never a deferral; and
+  // the run totals are exactly the column sums of the day entries.
+  SmallProblem problem = MakeSmallProblem(5);
+  const Corpus& corpus = problem.dataset.corpus;
+  serving::CampaignEngine engine;
+  engine.AddCampaign("c0", FastConfig(), problem.sf0, problem.builder,
+                     &corpus);
+  serving::ReplayDriver driver(&engine);
+  driver.AddStream(0, corpus);
+
+  serving::ReplayOptions options;
+  options.deadline_ms = 1e-9;  // effectively expired: every fit defers
+  options.include_idle = false;
+  const serving::ReplayStats stats = driver.Replay(options);
+
+  const size_t days = static_cast<size_t>(corpus.num_days());
+  ASSERT_EQ(stats.days.size(), days + 1);
+  size_t fits_sum = 0;
+  size_t deferred_sum = 0;
+  for (size_t d = 0; d < days; ++d) {
+    EXPECT_EQ(stats.days[d].fits, 0u) << "day " << d;
+    EXPECT_EQ(stats.days[d].deferred, 1u) << "day " << d;
+    fits_sum += stats.days[d].fits;
+    deferred_sum += stats.days[d].deferred;
+  }
+  // Drain entry: one deadline-free batched fit, never a deferral event.
+  const serving::ReplayDayStats& drain = stats.days.back();
+  EXPECT_EQ(drain.day, corpus.num_days());
+  EXPECT_EQ(drain.fits, 1u);
+  EXPECT_EQ(drain.deferred, 0u);
+  fits_sum += drain.fits;
+  deferred_sum += drain.deferred;
+
+  EXPECT_EQ(stats.total_fits, fits_sum);
+  EXPECT_EQ(stats.total_deferred, deferred_sum);
+  // Campaign totals mirror the events: the one drained snapshot is not
+  // double-counted against the day-level deferrals.
+  EXPECT_EQ(stats.campaigns[0].snapshots, 1u);
+  EXPECT_EQ(stats.campaigns[0].deferred, days);
+  EXPECT_EQ(stats.campaigns[0].tweets, corpus.num_tweets());
+}
+
+TEST(ReplayTest, IdleCampaignMissingDeadlineIsNotADeferralEvent) {
+  // Regression: a campaign with an empty queue (advanced only because
+  // include_idle keeps its timestep aligned) that missed the deadline
+  // used to count as a deferred fit on every day — inflating
+  // ReplayDayStats::deferred, CampaignReplayStats::deferred, and
+  // total_deferred with fits that never existed.
+  SmallProblem problem = MakeSmallProblem(5);
+  const Corpus& corpus = problem.dataset.corpus;
+  serving::CampaignEngine engine;
+  engine.AddCampaign("fed", FastConfig(), problem.sf0, problem.builder,
+                     &corpus);
+  engine.AddCampaign("idle", FastConfig(), problem.sf0, problem.builder,
+                     &corpus);
+  serving::ReplayDriver driver(&engine);
+  driver.AddStream(0, corpus);  // campaign 1 never receives tweets
+
+  serving::ReplayOptions options;
+  options.deadline_ms = 1e-9;
+  options.include_idle = true;
+  const serving::ReplayStats stats = driver.Replay(options);
+
+  const size_t days = static_cast<size_t>(corpus.num_days());
+  // Only the fed campaign's pending fits are deferral events.
+  EXPECT_EQ(stats.campaigns[0].deferred, days);
+  EXPECT_EQ(stats.campaigns[1].deferred, 0u);
+  EXPECT_EQ(stats.total_deferred, days);
+  for (size_t d = 0; d < days; ++d) {
+    EXPECT_LE(stats.days[d].deferred, 1u) << "day " << d;
+  }
+  // The drain still catches the fed campaign up.
+  EXPECT_EQ(engine.num_pending(0), 0u);
+  EXPECT_EQ(stats.campaigns[0].snapshots, 1u);
+}
+
+TEST(ReplayTest, ObserversSeeEveryReportAlongsideTheCallback) {
+  // AddObserver is additive: the legacy snapshot callback and any number
+  // of observers (the evaluation harness attaches this way) all see the
+  // same reports, and the engine-level fit observer fires too.
+  SmallProblem problem = MakeSmallProblem(5);
+  const Corpus& corpus = problem.dataset.corpus;
+  serving::CampaignEngine engine;
+  engine.AddCampaign("c0", FastConfig(), problem.sf0, problem.builder,
+                     &corpus);
+  serving::ReplayDriver driver(&engine);
+  driver.AddStream(0, corpus);
+
+  size_t callback_reports = 0;
+  size_t observer_reports = 0;
+  size_t engine_reports = 0;
+  driver.set_snapshot_callback(
+      [&](int, const serving::CampaignEngine::SnapshotReport&) {
+        ++callback_reports;
+      });
+  driver.AddObserver(
+      [&](int, const serving::CampaignEngine::SnapshotReport& r) {
+        ++observer_reports;
+        EXPECT_TRUE(r.fitted);
+      });
+  engine.set_fit_observer(
+      [&](const serving::CampaignEngine::SnapshotReport&) {
+        ++engine_reports;
+      });
+
+  const serving::ReplayStats stats = driver.Replay();
+  EXPECT_EQ(callback_reports, stats.total_fits);
+  EXPECT_EQ(observer_reports, stats.total_fits);
+  EXPECT_EQ(engine_reports, stats.total_fits);
+}
+
 TEST(ReplayTest, PacedReplayRespectsReleaseSchedule) {
   // 2 days, 400 ms interval at speedup 2 → day 1 releases at 200 ms, so
   // the run cannot finish before that. The margin is far above any
