@@ -1,0 +1,169 @@
+#ifndef TRICLUST_BENCH_BENCH_FLAGS_H_
+#define TRICLUST_BENCH_BENCH_FLAGS_H_
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace triclust {
+namespace bench_flags {
+
+/// google-benchmark-compatible command-line surface for the plain
+/// (non-libbenchmark) bench executables, so one CI invocation style drives
+/// the whole bench/ directory:
+///
+///   --benchmark_min_time=0.01x   work scale: fraction of the default
+///                                work per measurement (suffix `x`, as in
+///                                google-benchmark's per-iteration form).
+///                                Values ≥ 1 keep the full default sweep.
+///   --benchmark_format=json     emit results as JSON instead of tables.
+///   --benchmark_out=<path>      write the JSON report to <path> (always
+///                                JSON, independent of the console format).
+///
+/// Unknown --benchmark_* flags are ignored (forward compatibility with CI
+/// runner scripts); anything else aborts with a usage message.
+struct Flags {
+  /// Multiplier in (0, 1] applied to solver iterations / sweep sizes.
+  double work_scale = 1.0;
+  bool json_console = false;
+  std::string out_path;
+
+  /// `base` iterations scaled down for smoke runs, never below 1.
+  int ScaledIters(int base) const {
+    const double scaled = static_cast<double>(base) * work_scale;
+    return scaled < 1.0 ? 1 : static_cast<int>(scaled);
+  }
+  /// Milliseconds scaled down for smoke runs (pacing intervals).
+  double ScaledMs(double base_ms) const { return base_ms * work_scale; }
+};
+
+inline Flags Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--benchmark_min_time=", 0) == 0) {
+      // Only the `<frac>x` (per-iteration multiplier) form scales work.
+      // The seconds forms (`0.5s` or a bare double) ask for a *minimum
+      // runtime*, which these fixed-sweep benches cannot enforce — treat
+      // them as "run the full default sweep" rather than silently
+      // reshaping it.
+      std::string value = value_of("--benchmark_min_time=");
+      if (!value.empty() && value.back() == 'x') {
+        value.pop_back();
+        const double parsed = std::atof(value.c_str());
+        if (parsed > 0.0 && parsed < 1.0) flags.work_scale = parsed;
+      }
+    } else if (arg.rfind("--benchmark_format=", 0) == 0) {
+      flags.json_console = value_of("--benchmark_format=") == "json";
+    } else if (arg.rfind("--benchmark_out=", 0) == 0) {
+      flags.out_path = value_of("--benchmark_out=");
+    } else if (arg.rfind("--benchmark_", 0) == 0) {
+      // Ignored for compatibility with generic benchmark runners.
+    } else {
+      std::cerr << "unknown flag: " << arg
+                << "\nsupported: --benchmark_min_time=<frac>x "
+                   "--benchmark_format=console|json "
+                   "--benchmark_out=<path>\n";
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+/// Collects named measurements and renders them in google-benchmark's JSON
+/// report shape ({"context": ..., "benchmarks": [...]}), so artifact
+/// tooling written for libbenchmark output (perf-trajectory dashboards,
+/// regression differs) ingests these reports unchanged.
+class Reporter {
+ public:
+  explicit Reporter(std::string executable, Flags flags)
+      : executable_(std::move(executable)), flags_(std::move(flags)) {}
+
+  /// Records one measurement. `real_ms` is wall time; `counters` are
+  /// additional rate/ratio metrics ({name, value} pairs).
+  void Add(const std::string& name, double real_ms,
+           const std::vector<std::pair<std::string, double>>& counters = {}) {
+    Entry e;
+    e.name = name;
+    e.real_ms = real_ms;
+    e.counters = counters;
+    entries_.push_back(std::move(e));
+  }
+
+  /// Writes the JSON report to --benchmark_out (if set) and to stdout when
+  /// --benchmark_format=json. Returns false if the output file could not
+  /// be written — callers should exit non-zero so CI fails loudly.
+  bool Write() const {
+    if (flags_.json_console) std::cout << Json();
+    if (flags_.out_path.empty()) return true;
+    std::ofstream out(flags_.out_path);
+    if (!out) {
+      std::cerr << "cannot write benchmark report: " << flags_.out_path
+                << "\n";
+      return false;
+    }
+    out << Json();
+    return out.good();
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double real_ms = 0.0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (const char ch : s) {
+      if (ch == '"' || ch == '\\') out.push_back('\\');
+      out.push_back(ch);
+    }
+    return out;
+  }
+
+  std::string Json() const {
+    std::ostringstream os;
+    os << "{\n  \"context\": {\n"
+       << "    \"executable\": \"" << Escaped(executable_) << "\",\n"
+       << "    \"num_cpus\": " << std::thread::hardware_concurrency()
+       << ",\n"
+       << "    \"work_scale\": " << flags_.work_scale << "\n"
+       << "  },\n  \"benchmarks\": [\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      os << "    {\n"
+         << "      \"name\": \"" << Escaped(e.name) << "\",\n"
+         << "      \"run_name\": \"" << Escaped(e.name) << "\",\n"
+         << "      \"run_type\": \"iteration\",\n"
+         << "      \"iterations\": 1,\n"
+         << "      \"real_time\": " << e.real_ms << ",\n"
+         << "      \"cpu_time\": " << e.real_ms << ",\n"
+         << "      \"time_unit\": \"ms\"";
+      for (const auto& counter : e.counters) {
+        os << ",\n      \"" << Escaped(counter.first)
+           << "\": " << counter.second;
+      }
+      os << "\n    }" << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+  }
+
+  std::string executable_;
+  Flags flags_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace bench_flags
+}  // namespace triclust
+
+#endif  // TRICLUST_BENCH_BENCH_FLAGS_H_

@@ -5,6 +5,11 @@
 /// stress. Complements bench_serving (which feeds the engine from
 /// pre-split synthetic snapshots): here every corpus goes through the
 /// on-disk TSV round trip first, exactly like an external dataset would.
+///
+/// Accepts the google-benchmark flag surface (see bench/bench_flags.h):
+/// --benchmark_min_time=0.01x scales solver iterations and pacing down for
+/// CI smoke runs, --benchmark_format=json / --benchmark_out=... emit a
+/// JSON report.
 
 #include <cstdio>
 #include <iostream>
@@ -12,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_flags.h"
 #include "bench/bench_util.h"
 #include "src/data/corpus_io.h"
 #include "src/eval/timeline_eval.h"
@@ -22,9 +28,13 @@
 namespace triclust {
 namespace {
 
+/// Flag/report plumbing shared by every sweep (set once in main).
+bench_flags::Flags g_flags;
+bench_flags::Reporter* g_reporter = nullptr;
+
 OnlineConfig ReplayConfig() {
   OnlineConfig config;
-  config.base.max_iterations = 25;
+  config.base.max_iterations = g_flags.ScaledIters(25);
   config.base.tolerance = 0.0;  // fixed work per fit for clean scaling
   config.base.track_loss = false;
   return config;
@@ -70,6 +80,9 @@ LoadedCorpus LoadThroughTsv(TableWriter* io_table) {
                     TableWriter::Num(mb, 2), TableWriter::Num(write_ms, 1),
                     TableWriter::Num(read_ms, 1),
                     TableWriter::Num(mb / (read_ms / 1e3), 1)});
+  g_reporter->Add("replay/tsv_write", write_ms, {{"megabytes", mb}});
+  g_reporter->Add("replay/tsv_read", read_ms,
+                  {{"megabytes_per_second", mb / (read_ms / 1e3)}});
 
   LoadedCorpus out;
   out.corpus = std::move(loaded).value();
@@ -117,6 +130,12 @@ void RunPartitionSweep(const LoadedCorpus& data) {
                     TableWriter::Num(stats.TweetsPerSecond(), 0),
                     TableWriter::Num(stats.MeanAdvanceMs(), 1),
                     TableWriter::Num(stats.MaxAdvanceMs(), 1)});
+      g_reporter->Add(
+          "replay/partition/streams:" + std::to_string(streams) +
+              "/threads:" + (threads == 0 ? "hw" : std::to_string(threads)),
+          stats.wall_ms,
+          {{"tweets_per_second", stats.TweetsPerSecond()},
+           {"max_advance_ms", stats.MaxAdvanceMs()}});
     }
   }
   table.Print(std::cout);
@@ -125,7 +144,7 @@ void RunPartitionSweep(const LoadedCorpus& data) {
 void RunSpeedupSweep(const LoadedCorpus& data) {
   bench_util::PrintHeader(
       "Paced replay: historical days released at day_interval_ms / speedup");
-  const double interval_ms = 400.0;
+  const double interval_ms = g_flags.ScaledMs(400.0);
   TableWriter table("8-day stream, 2 topic streams, day interval " +
                     TableWriter::Num(interval_ms, 0) + " ms");
   table.SetHeader({"speedup", "wall ms", "expected ms", "mean wait ms"});
@@ -145,6 +164,10 @@ void RunSpeedupSweep(const LoadedCorpus& data) {
                   TableWriter::Num(stats.wall_ms, 0),
                   TableWriter::Num(expected, 0) + "+fit",
                   TableWriter::Num(wait_ms / stats.days.size(), 1)});
+    g_reporter->Add("replay/paced/speedup:" + TableWriter::Num(speedup, 0),
+                    stats.wall_ms,
+                    {{"expected_release_ms", expected},
+                     {"mean_wait_ms", wait_ms / stats.days.size()}});
   }
   table.Print(std::cout);
 }
@@ -188,6 +211,12 @@ void RunEvalSweep(const LoadedCorpus& data) {
                   TableWriter::Num(aggregate.tweet_nmi, 3),
                   TableWriter::Num(eval_ms, 1),
                   TableWriter::Num(stats.wall_ms, 0)});
+    g_reporter->Add("replay/eval/streams:" + std::to_string(num_streams),
+                    stats.wall_ms,
+                    {{"eval_overhead_ms", eval_ms},
+                     {"tweet_accuracy", aggregate.tweet_accuracy},
+                     {"user_accuracy", aggregate.user_accuracy},
+                     {"tweet_nmi", aggregate.tweet_nmi}});
   }
   table.Print(std::cout);
 }
@@ -210,6 +239,13 @@ void RunDeadlineSweep(const LoadedCorpus& data) {
                   std::to_string(stats.total_deferred),
                   TableWriter::Num(stats.wall_ms, 0),
                   TableWriter::Num(stats.MaxAdvanceMs(), 1)});
+    g_reporter->Add(
+        "replay/deadline/ms:" +
+            (deadline_ms <= 0.0 ? std::string("none")
+                                : TableWriter::Num(deadline_ms, 1)),
+        stats.wall_ms,
+        {{"fits", static_cast<double>(stats.total_fits)},
+         {"deferred", static_cast<double>(stats.total_deferred)}});
   }
   table.Print(std::cout);
 }
@@ -217,7 +253,11 @@ void RunDeadlineSweep(const LoadedCorpus& data) {
 }  // namespace
 }  // namespace triclust
 
-int main() {
+int main(int argc, char** argv) {
+  triclust::g_flags = triclust::bench_flags::Parse(argc, argv);
+  triclust::bench_flags::Reporter reporter("bench_replay", triclust::g_flags);
+  triclust::g_reporter = &reporter;
+
   triclust::bench_util::PrintHeader(
       "Corpus TSV loaders: WriteTsv/ReadTsv round-trip throughput");
   triclust::TableWriter io_table("In-memory TSV serialization");
@@ -229,5 +269,5 @@ int main() {
   triclust::RunSpeedupSweep(data);
   triclust::RunEvalSweep(data);
   triclust::RunDeadlineSweep(data);
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -63,7 +63,7 @@ std::vector<Sentiment> PropagateBipartite(
     const LabelPropagationOptions& options) {
   TRICLUST_CHECK_EQ(x.rows(), seed_labels.size());
   TRICLUST_CHECK_GE(options.num_classes, 2);
-  ScopedNumThreads thread_scope(options.num_threads);
+  ScopedThreadBudget thread_scope(ThreadBudget(options.num_threads));
   // Cache Xᵀ once so the per-iteration feature step is a row-parallel SpMM
   // instead of the always-serial scatter SpTMM; the per-entry summation
   // order is identical, so this is bitwise the historical result.
@@ -84,7 +84,7 @@ std::vector<Sentiment> PropagateGraph(
     const LabelPropagationOptions& options) {
   TRICLUST_CHECK_EQ(graph.num_nodes(), seed_labels.size());
   TRICLUST_CHECK_GE(options.num_classes, 2);
-  ScopedNumThreads thread_scope(options.num_threads);
+  ScopedThreadBudget thread_scope(ThreadBudget(options.num_threads));
   DenseMatrix y = SeedMatrix(seed_labels, options.num_classes);
   for (int iter = 0; iter < options.iterations; ++iter) {
     DenseMatrix next = SpMM(graph.adjacency(), y);

@@ -12,7 +12,7 @@ UserRegResult RunUserReg(const DatasetMatrices& data,
                          const UserRegOptions& options) {
   TRICLUST_CHECK_EQ(data.num_tweets(), seed_tweet_labels.size());
   const size_t k = static_cast<size_t>(options.num_classes);
-  ScopedNumThreads thread_scope(options.num_threads);
+  ScopedThreadBudget thread_scope(ThreadBudget(options.num_threads));
 
   // 1. Supervised tweet scorer on the seeds.
   MultinomialNaiveBayes nb(options.num_classes);

@@ -36,13 +36,14 @@ struct TriClusterConfig {
   /// framework):  + λs·(||Sp||₁ + ||Su||₁ + ||Sf||₁). Enters each
   /// multiplicative rule as a constant in the denominator; 0 disables.
   double sparsity = 0.0;
-  /// Compute threads used by the solver's kernels for this fit
-  /// (src/util/parallel.h): 0 = hardware concurrency, 1 = the exact
-  /// historical serial path (bit-identical results), n = at most n threads.
-  /// Row-partitioned kernels are bit-identical at every setting; the loss
-  /// reductions agree across all settings ≥ 2 and within rounding of 1.
-  /// The setting is installed process-globally for the fit's duration —
-  /// concurrent fits in one process must agree on it (see parallel.h).
+  /// Per-fit thread budget for the solver's kernels
+  /// (src/util/parallel.h): 0 = hardware concurrency, 1 = strict serial,
+  /// n = at most n threads. Row-partitioned kernels and the fixed-grain
+  /// loss reductions are bit-identical at EVERY setting, so this knob
+  /// never changes results. The clusterers install it as a thread-local
+  /// ThreadBudget for the fit's duration — concurrent fits in one process
+  /// may each use a different value (CampaignEngine relies on this to
+  /// split its pool across campaigns).
   int num_threads = 1;
   /// Seed of the factor initialization.
   uint64_t seed = 7;

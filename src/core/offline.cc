@@ -68,10 +68,11 @@ TriClusterResult OfflineTriClusterer::Run(const DatasetMatrices& data,
   TRICLUST_CHECK_EQ(sf0.rows(), data.xp.cols());
   TRICLUST_CHECK_EQ(sf0.cols(), static_cast<size_t>(config_.num_clusters));
 
-  // Every kernel under this fit honors the configured thread budget, and
-  // one workspace amortizes the data-matrix transposes plus all update
-  // scratch across iterations.
-  ScopedNumThreads thread_scope(config_.num_threads);
+  // Every kernel under this fit honors the configured per-fit thread
+  // budget (installed thread-local, so concurrent fits with different
+  // budgets coexist), and one workspace amortizes the data-matrix
+  // transposes plus all update scratch across iterations.
+  ScopedThreadBudget thread_scope(ThreadBudget(config_.num_threads));
   update::UpdateWorkspace workspace;
 
   FactorSet f = InitializeFactors(data, sf0, config_);

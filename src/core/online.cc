@@ -33,10 +33,11 @@ Status OnlineTriClusterer::RestoreState(const std::string& path) {
 
 TriClusterResult OnlineTriClusterer::ProcessSnapshot(
     const DatasetMatrices& data) {
-  // One thread budget per snapshot fit, mirroring the offline solver. The
-  // workspace is reused across snapshots (Solve resets its transpose cache
-  // at every fit boundary), so steady-state streaming allocates no scratch.
-  ScopedNumThreads thread_scope(solver_.config().base.num_threads);
+  // The workspace carries the per-fit thread budget (Solve installs it,
+  // thread-local — concurrent clusterers on other threads are unaffected)
+  // and is reused across snapshots (Solve resets its transpose cache at
+  // every fit boundary), so steady-state streaming allocates no scratch.
+  workspace_.budget = ThreadBudget(solver_.config().base.num_threads);
   return solver_.Solve(data, &state_, &last_info_, &workspace_);
 }
 

@@ -73,6 +73,13 @@ TriClusterResult SnapshotSolver::Solve(const DatasetMatrices& data,
     workspace->ResetTransposeCache();
   }
 
+  // The workspace carries the fit's thread budget (see updates.h): install
+  // it on this thread for the whole solve so every kernel below honors it.
+  // Ambient budgets (the default) make this a no-op and the fit inherits
+  // the caller's width. Thread-local, so concurrent Solve() calls with
+  // different budgets never interfere.
+  ScopedThreadBudget fit_budget(workspace->budget);
+
   const DenseMatrix sfw = ComputeSfw(*state);
 
   // --- partition users (paper: new / evolving / disappeared) --------------

@@ -39,12 +39,14 @@ struct UserPartition {
 /// of one factor matrix (a numerical-stability refinement over the paper's
 /// raw sum; τ still sets the relative decay of older snapshots).
 ///
-/// Threading: Solve() honors the ambient kernel thread budget
-/// (src/util/parallel.h) and installs nothing itself. OnlineTriClusterer
-/// installs ScopedNumThreads(config.base.num_threads) around it —
-/// preserving the historical single-stream behavior — while CampaignEngine
-/// instead pins each sharded fit to the serial kernel path and parallelizes
-/// across campaigns.
+/// Threading: Solve() installs the per-fit ThreadBudget carried by the
+/// caller's workspace (src/core/updates.h) on the fitting thread for the
+/// duration of the solve; an ambient budget (or no workspace) inherits the
+/// caller's width. OnlineTriClusterer sets its workspace budget from
+/// config.base.num_threads, while CampaignEngine::Advance splits its pool
+/// across the batch's ready fits and hands each campaign's workspace its
+/// slice — kernels are bit-identical at every width, so results never
+/// depend on the split (see parallel.h).
 class SnapshotSolver {
  public:
   /// `sf0` is the l×k lexicon prior, used as the feature target for the
@@ -74,8 +76,9 @@ class SnapshotSolver {
   ///
   /// Thread safety: const and re-entrant — concurrent Solve() calls on
   /// one solver are safe as long as each call owns its `state`, `info`,
-  /// and `workspace` exclusively. The kernels honor the ambient budget
-  /// (see the class comment), which concurrent callers must coordinate.
+  /// and `workspace` exclusively. Each call runs under its workspace's
+  /// ThreadBudget (thread-local; see the class comment), so concurrent
+  /// callers with different budgets need no coordination.
   TriClusterResult Solve(const DatasetMatrices& data, StreamState* state,
                          SolveInfo* info = nullptr,
                          update::UpdateWorkspace* workspace = nullptr) const;

@@ -6,6 +6,7 @@
 #include "src/graph/user_graph.h"
 #include "src/matrix/dense_matrix.h"
 #include "src/matrix/sparse_matrix.h"
+#include "src/util/parallel.h"
 
 namespace triclust {
 namespace update {
@@ -48,6 +49,17 @@ class UpdateWorkspace {
   /// The CSR transpose of `x`, built on first use and rebuilt only when a
   /// different matrix (by address) is bound to the slot.
   const SparseMatrix& Transposed(TransposeSlot slot, const SparseMatrix& x);
+
+  /// The fit's thread budget. A workspace is per-fit scratch, which makes
+  /// it the natural carrier for the per-fit width: solver entry points
+  /// (SnapshotSolver::Solve, the offline/online clusterers) install this
+  /// budget on the fitting thread for the duration of the fit, so every
+  /// kernel under the fit honors it without any process-global state.
+  /// Ambient (the default) inherits the caller's width — installed scope,
+  /// nesting rule, or global default, in that order (see parallel.h).
+  /// CampaignEngine::Advance rewrites this per batch when it splits the
+  /// pool across ready fits. Results are bit-identical at every setting.
+  ThreadBudget budget;
 
   /// Forgets the cached transposes (scratch matrices are kept). Needed
   /// when re-using a long-lived workspace against *new* data matrices that

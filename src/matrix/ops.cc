@@ -69,18 +69,20 @@ void MatMulAtBInto(const DenseMatrix& a, const DenseMatrix& b,
     }
   };
 
-  const int threads = EffectiveNumThreads();
-  if (threads <= 1 || rows <= kReduceRowGrain) {
+  if (rows <= kReduceRowGrain) {
     c->Fill(0.0);
     accumulate(0, rows, c->data());
     return;
   }
   // Output is a small k×k accumulator shared by every input row, so this is
-  // a chunked reduction: fixed-grain row chunks (independent of the thread
-  // count) accumulate into private buffers, combined in chunk order. The
+  // a chunked reduction: fixed-grain row chunks (independent of the width)
+  // accumulate into private buffers, combined in chunk order. The chunked
+  // path runs at EVERY width — with a width of 1 the ParallelFor below
+  // degrades to an inline loop over the same chunks — so the result is
+  // bit-identical no matter what thread budget a fit runs under. The
   // partials buffer is thread-local so steady-state solver iterations stay
-  // allocation-free (kernels are only entered from the fit's driving
-  // thread; pool workers never re-enter a kernel).
+  // allocation-free (each concurrent fit drives its kernels from its own
+  // thread; pool workers write through the captured pointer).
   const size_t num_chunks = (rows + kReduceRowGrain - 1) / kReduceRowGrain;
   static thread_local std::vector<double> partials_storage;
   partials_storage.assign(num_chunks * out_size, 0.0);

@@ -12,6 +12,24 @@ namespace serving {
 
 CampaignEngine::CampaignEngine(Options options) : options_(options) {
   TRICLUST_CHECK_GE(options_.num_threads, 0);
+  TRICLUST_CHECK_GE(options_.per_fit_threads, 0);
+}
+
+int CampaignEngine::effective_num_threads() const {
+  return ThreadBudget(options_.num_threads).resolved();
+}
+
+std::vector<int> CampaignEngine::SplitThreadBudget(int pool_threads,
+                                                   size_t ready_fits) {
+  TRICLUST_CHECK_GE(pool_threads, 1);
+  std::vector<int> budgets(ready_fits, 1);
+  if (ready_fits == 0) return budgets;
+  const int base = pool_threads / static_cast<int>(ready_fits);
+  const int spill = pool_threads % static_cast<int>(ready_fits);
+  for (size_t i = 0; i < ready_fits; ++i) {
+    budgets[i] = std::max(1, base + (i < static_cast<size_t>(spill) ? 1 : 0));
+  }
+  return budgets;
 }
 
 size_t CampaignEngine::AddCampaign(std::string name, OnlineConfig config,
@@ -114,10 +132,18 @@ std::vector<CampaignEngine::SnapshotReport> CampaignEngine::Advance(
   std::vector<SnapshotReport> reports(targets.size());
 
   const Stopwatch advance_clock;
-  // The engine budget drives only the cross-campaign sharding below; each
-  // fit pins its own kernels to the serial path, so per-campaign results
-  // do not depend on this setting (see class comment).
-  ScopedNumThreads budget(options_.num_threads);
+  // Two-level split (see class comment): the campaign tier shards the
+  // batch across the pool under the engine budget, and each fit gets its
+  // slice of that budget — recomputed per batch from the fits actually
+  // ready — as a per-fit kernel budget carried by its workspace. Both
+  // tiers' budgets are thread-local; results are bit-identical for any
+  // split because the kernels are width-invariant.
+  const int pool_threads = effective_num_threads();
+  const std::vector<int> fit_budgets =
+      options_.per_fit_threads > 0
+          ? std::vector<int>(targets.size(), options_.per_fit_threads)
+          : SplitThreadBudget(pool_threads, targets.size());
+  ScopedThreadBudget campaign_tier(ThreadBudget(pool_threads));
   ParallelFor(0, targets.size(), /*grain=*/1, [&](size_t lo, size_t hi) {
     for (size_t t = lo; t < hi; ++t) {
       SnapshotReport& report = reports[t];
@@ -127,7 +153,7 @@ std::vector<CampaignEngine::SnapshotReport> CampaignEngine::Advance(
         continue;  // deferred: the queue keeps accumulating
       }
       Campaign& c = *campaigns_[targets[t]];
-      ScopedSerialKernels serial_fit;
+      c.workspace.budget = ThreadBudget(fit_budgets[t]);
       const Stopwatch fit_clock;
       report.label_day = c.pending_label_day;
       report.data = c.builder.EmitSnapshot(*c.corpus, c.pending_label_day);

@@ -28,13 +28,22 @@ namespace serving {
 /// across the process thread pool (the fits are independent given each
 /// campaign's window aggregates, so they parallelize without coordination).
 ///
-/// Determinism: every sharded fit runs its kernels on the exact serial code
-/// path (ScopedSerialKernels), so each campaign's results are bit-identical
-/// to a standalone OnlineTriClusterer with num_threads = 1 processing the
-/// same snapshots — regardless of how many campaigns advanced together,
-/// the engine's thread budget, or which pool thread ran the fit.
-/// Parallelism comes from fitting campaigns concurrently, not from
-/// splitting rows within a fit.
+/// Two-level parallelism: Advance() splits its thread pool hierarchically.
+/// The campaign tier shards the batch's ready fits across the pool; the
+/// kernel tier hands every sharded fit a per-fit ThreadBudget — its slice
+/// of `num_threads / ready_fits` with the remainder spilled one thread at
+/// a time onto the first fits — so each fit also runs its kernels
+/// row-parallel inside its slice. A 2-campaign fleet on 16 cores therefore
+/// uses all 16 (8 per fit) instead of idling 14, and a 1-campaign batch
+/// gets the whole machine. Budgets are recomputed for every Advance()
+/// batch from the fits actually ready in it.
+///
+/// Determinism: the kernels are bit-identical at every width (fixed-grain
+/// reductions, disjoint-row partitions — see parallel.h), so each
+/// campaign's results are bit-identical to a standalone
+/// OnlineTriClusterer with num_threads = 1 processing the same snapshots —
+/// regardless of how many campaigns advanced together, the engine's thread
+/// budget, how it was split across fits, or which pool thread ran a fit.
 ///
 /// Deadlines: Advance() accepts a soft deadline. A campaign whose fit has
 /// not *started* by the deadline is skipped — its pending tweets stay
@@ -47,16 +56,23 @@ namespace serving {
 ///
 /// Thread safety: the engine itself is confined to one caller thread
 /// (Ingest/Advance are not re-entrant); internal concurrency is the
-/// engine's job. Advance() additionally installs the engine's thread
-/// budget into the PROCESS-GLOBAL kernel setting for its duration (see
-/// parallel.h) — running unrelated solver fits on other threads of the
-/// same process concurrently with Advance() is unsupported, exactly as two
-/// concurrent standalone fits already are. Per-fit budget plumbing that
-/// lifts this restriction is a ROADMAP item.
+/// engine's job. All thread budgets are installed THREAD-LOCALLY (see
+/// parallel.h), so unrelated solver fits on other threads of the same
+/// process run safely concurrently with Advance(), each under its own
+/// budget.
 struct EngineOptions {
-  /// Thread budget for sharding campaign fits across the pool:
-  /// 0 = hardware concurrency, 1 = fit campaigns sequentially.
+  /// Total thread budget of one Advance() batch — the pool split across
+  /// that batch's ready fits: 0 = hardware concurrency, 1 = fit campaigns
+  /// sequentially with serial kernels.
   int num_threads = 0;
+  /// Per-fit kernel budget override. 0 (default) = split `num_threads`
+  /// evenly across the batch's ready fits with remainder spill (see the
+  /// class comment). n ≥ 1 forces every fit's kernel budget to n — n = 1
+  /// reproduces the historical cross-campaign-only sharding exactly, and
+  /// larger values may deliberately oversubscribe the pool (budgets
+  /// summing past `num_threads` degrade gracefully and never change
+  /// results).
+  int per_fit_threads = 0;
 };
 
 struct AdvanceOptions {
@@ -89,6 +105,19 @@ class CampaignEngine {
   /// below): safe from the confined caller thread; not from others while
   /// Advance() runs.
   size_t num_campaigns() const { return campaigns_.size(); }
+
+  /// The resolved total thread budget of an Advance() batch: Options::
+  /// num_threads with 0 resolved through hardware concurrency, always ≥ 1.
+  int effective_num_threads() const;
+
+  /// How one Advance() batch splits `pool_threads` across `ready_fits`
+  /// fits: every fit gets at least max(1, pool_threads / ready_fits)
+  /// threads and the remainder spills one extra thread onto the first
+  /// `pool_threads % ready_fits` fits, so the slices sum to exactly
+  /// max(pool_threads, ready_fits). Pure function, exposed for tests;
+  /// empty for ready_fits == 0.
+  static std::vector<int> SplitThreadBudget(int pool_threads,
+                                            size_t ready_fits);
 
   /// The unique name `campaign` was registered under.
   const std::string& name(size_t campaign) const;

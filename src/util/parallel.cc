@@ -14,16 +14,29 @@ namespace {
 
 std::atomic<int> g_num_threads{1};
 
+/// The calling thread's installed budget (ThreadBudget::kAmbient = none).
+thread_local int t_budget = -1;
+
 /// True while the current thread is executing a chunk of a parallel region;
-/// nested ParallelFor/ParallelReduce calls then degrade to inline serial
-/// execution instead of deadlocking on the shared pool.
+/// nested ParallelFor/ParallelReduce calls with no installed budget then
+/// degrade to inline serial execution instead of exploding recursively.
 thread_local bool t_in_parallel_region = false;
 
-/// Persistent work-sharing pool. One job at a time; the submitting thread
-/// participates in the job, so a pool serving n-way parallelism keeps n−1
-/// workers. Workers are added lazily (never removed) and the singleton is
-/// intentionally leaked to avoid static-destruction races with user code
-/// running at exit.
+int ResolveWidth(int raw) {
+  if (raw > 0) return raw;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// Persistent work-sharing pool with concurrent jobs — the backbone of the
+/// two-level schedule. Any thread (including a pool worker running a
+/// campaign-tier chunk) may submit a job; the submitter always participates
+/// in its own job, so every job makes progress even when all workers are
+/// busy elsewhere, which makes the nested submit-and-wait pattern
+/// deadlock-free: waits only ever point down the nesting tree, and the
+/// leaves never block. Workers are added lazily (never removed, capped) and
+/// the singleton is intentionally leaked to avoid static-destruction races
+/// with user code running at exit.
 class ThreadPool {
  public:
   static ThreadPool& Instance() {
@@ -32,100 +45,150 @@ class ThreadPool {
   }
 
   /// Executes chunk_fn(i) for every i in [0, num_chunks) using at most
-  /// `threads` concurrent threads (including the caller). Returns after all
-  /// chunks completed.
-  void Run(int threads, size_t num_chunks,
+  /// `width` concurrent threads (including the caller). Returns after all
+  /// chunks completed. Helpers are best-effort: if none are free the
+  /// caller simply runs every chunk itself.
+  void Run(int width, size_t num_chunks,
            const std::function<void(size_t)>& chunk_fn) {
-    if (threads <= 1 || num_chunks <= 1) {
+    if (width <= 1 || num_chunks <= 1) {
       for (size_t i = 0; i < num_chunks; ++i) chunk_fn(i);
       return;
     }
-    // One job at a time; concurrent top-level submitters queue here.
-    std::lock_guard<std::mutex> job_lock(job_mutex_);
-    const int helpers =
-        static_cast<int>(std::min<size_t>(threads - 1, num_chunks - 1));
-    EnsureWorkers(helpers);
+    Job job;
+    job.chunk_fn = &chunk_fn;
+    job.num_chunks = num_chunks;
+    job.helper_slots =
+        static_cast<int>(std::min<size_t>(width - 1, num_chunks - 1));
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      chunk_fn_ = &chunk_fn;
-      num_chunks_ = num_chunks;
-      next_chunk_.store(0, std::memory_order_relaxed);
-      active_helpers_ = helpers;
-      pending_helpers_ = helpers;
-      ++generation_;
+      GrowWorkersLocked(job.helper_slots);
+      job.next = jobs_;
+      jobs_ = &job;
     }
     wake_cv_.notify_all();
     try {
-      RunChunks();
+      RunChunks(job);
     } catch (...) {
-      // The job state (and the std::function behind chunk_fn_) lives in the
-      // caller's frame: helpers must drain before the exception unwinds it.
-      // A body throwing on a *worker* thread still terminates the process
+      // The job (and the std::function behind chunk_fn) lives in this
+      // frame: helpers must drain before the exception unwinds it. A body
+      // throwing on a *worker* thread still terminates the process
       // (std::thread semantics) — see the contract in parallel.h.
-      std::unique_lock<std::mutex> lock(mutex_);
-      done_cv_.wait(lock, [&] { return pending_helpers_ == 0; });
-      chunk_fn_ = nullptr;
+      Retire(&job);
       throw;
     }
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return pending_helpers_ == 0; });
-    chunk_fn_ = nullptr;
+    Retire(&job);
   }
 
  private:
+  /// One in-flight parallel region, linked into the pool's job list while
+  /// helpers may still join. Chunks are claimed dynamically through
+  /// next_chunk; the fixed chunk *layout* is the caller's, so claiming
+  /// order never affects results.
+  struct Job {
+    const std::function<void(size_t)>* chunk_fn = nullptr;
+    size_t num_chunks = 0;
+    std::atomic<size_t> next_chunk{0};
+    /// Helper join slots remaining (beyond the submitting thread).
+    int helper_slots = 0;
+    /// Helpers currently executing chunks; the submitter waits for 0.
+    int active_helpers = 0;
+    Job* next = nullptr;
+  };
+
   ThreadPool() = default;
 
-  void EnsureWorkers(int n) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    while (static_cast<int>(workers_.size()) < n) {
-      const int id = static_cast<int>(workers_.size());
-      workers_.emplace_back([this, id] { WorkerMain(id); });
+  /// Caps lazy worker growth. Generous on purpose: oversubscribed budget
+  /// schedules (tested explicitly) should degrade by OS time-slicing, not
+  /// by silently reshaping the schedule.
+  static int WorkerCap() {
+    static const int cap = std::max(4 * ResolveWidth(0), 8);
+    return cap;
+  }
+
+  void GrowWorkersLocked(int helpers_wanted) {
+    const int deficit = helpers_wanted - idle_workers_;
+    const int room = WorkerCap() - static_cast<int>(workers_.size());
+    const int spawn = std::min(deficit, room);
+    for (int i = 0; i < spawn; ++i) {
+      workers_.emplace_back([this] { WorkerMain(); });
     }
   }
 
-  void RunChunks() {
-    // RAII so a throwing body cannot leave the thread marked in-region
-    // (which would silently serialize all its future parallel calls).
-    struct RegionGuard {
-      RegionGuard() { t_in_parallel_region = true; }
-      ~RegionGuard() { t_in_parallel_region = false; }
+  Job* ClaimableJobLocked() {
+    for (Job* job = jobs_; job != nullptr; job = job->next) {
+      if (job->helper_slots > 0 &&
+          job->next_chunk.load(std::memory_order_relaxed) < job->num_chunks) {
+        return job;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Executes chunks of `job` until the claim counter is exhausted. Chunk
+  /// bodies run with the nesting flag set and no installed budget, so a
+  /// plain kernel chunk stays serial while a campaign-tier chunk can
+  /// install its own per-fit budget and fan out again (two-level
+  /// schedule). RAII so a throwing body cannot leave the thread's state
+  /// corrupted.
+  static void RunChunks(Job& job) {
+    struct ScopeGuard {
+      bool saved_region;
+      int saved_budget;
+      ScopeGuard()
+          : saved_region(t_in_parallel_region), saved_budget(t_budget) {
+        t_in_parallel_region = true;
+        t_budget = -1;
+      }
+      ~ScopeGuard() {
+        t_in_parallel_region = saved_region;
+        t_budget = saved_budget;
+      }
     } guard;
     for (;;) {
-      const size_t i = next_chunk_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= num_chunks_) break;
-      (*chunk_fn_)(i);
+      const size_t i = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.num_chunks) break;
+      (*job.chunk_fn)(i);
     }
   }
 
-  void WorkerMain(int id) {
-    uint64_t seen_generation = 0;
+  /// Unlinks `job` once no helper can touch it again. Helpers only claim
+  /// linked jobs under the mutex, so after this returns the job frame is
+  /// safe to unwind.
+  void Retire(Job* job) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job->helper_slots = 0;  // no new joiners
+    done_cv_.wait(lock, [&] { return job->active_helpers == 0; });
+    Job** link = &jobs_;
+    while (*link != job) link = &(*link)->next;
+    *link = job->next;
+  }
+
+  void WorkerMain() {
+    std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        wake_cv_.wait(lock,
-                      [&] { return generation_ != seen_generation; });
-        seen_generation = generation_;
-        if (id >= active_helpers_) continue;  // not part of this job
+      Job* job = ClaimableJobLocked();
+      if (job == nullptr) {
+        ++idle_workers_;
+        wake_cv_.wait(lock);
+        --idle_workers_;
+        continue;
       }
-      RunChunks();
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (--pending_helpers_ == 0) done_cv_.notify_all();
-      }
+      --job->helper_slots;
+      ++job->active_helpers;
+      lock.unlock();
+      RunChunks(*job);
+      lock.lock();
+      if (--job->active_helpers == 0) done_cv_.notify_all();
     }
   }
 
-  std::mutex job_mutex_;
   std::mutex mutex_;
   std::condition_variable wake_cv_;
   std::condition_variable done_cv_;
   std::vector<std::thread> workers_;
-  const std::function<void(size_t)>* chunk_fn_ = nullptr;
-  size_t num_chunks_ = 0;
-  std::atomic<size_t> next_chunk_{0};
-  int active_helpers_ = 0;
-  int pending_helpers_ = 0;
-  uint64_t generation_ = 0;
+  int idle_workers_ = 0;
+  /// Intrusive list of in-flight jobs (stack frames of their submitters).
+  Job* jobs_ = nullptr;
 };
 
 }  // namespace
@@ -137,11 +200,32 @@ void SetNumThreads(int n) {
 
 int GetNumThreads() { return g_num_threads.load(std::memory_order_relaxed); }
 
-int EffectiveNumThreads() {
-  const int n = GetNumThreads();
-  if (n > 0) return n;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
+int EffectiveNumThreads() { return ResolveWidth(GetNumThreads()); }
+
+int CurrentParallelWidth() {
+  if (t_budget >= 0) return ResolveWidth(t_budget);
+  if (t_in_parallel_region) return 1;
+  return EffectiveNumThreads();
+}
+
+ThreadBudget::ThreadBudget(int threads) : threads_(threads) {
+  TRICLUST_CHECK_GE(threads, 0);
+}
+
+int ThreadBudget::threads() const {
+  TRICLUST_CHECK(!is_ambient());
+  return threads_;
+}
+
+int ThreadBudget::resolved() const { return ResolveWidth(threads()); }
+
+ScopedThreadBudget::ScopedThreadBudget(ThreadBudget budget)
+    : previous_(t_budget), installed_(!budget.is_ambient()) {
+  if (installed_) t_budget = budget.threads_;
+}
+
+ScopedThreadBudget::~ScopedThreadBudget() {
+  if (installed_) t_budget = previous_;
 }
 
 ScopedNumThreads::ScopedNumThreads(int n) : previous_(GetNumThreads()) {
@@ -150,32 +234,27 @@ ScopedNumThreads::ScopedNumThreads(int n) : previous_(GetNumThreads()) {
 
 ScopedNumThreads::~ScopedNumThreads() { SetNumThreads(previous_); }
 
-ScopedSerialKernels::ScopedSerialKernels()
-    : previous_(t_in_parallel_region) {
-  t_in_parallel_region = true;
-}
+ScopedSerialKernels::ScopedSerialKernels() : budget_(ThreadBudget::Serial()) {}
 
-ScopedSerialKernels::~ScopedSerialKernels() {
-  t_in_parallel_region = previous_;
-}
+ScopedSerialKernels::~ScopedSerialKernels() = default;
 
 void ParallelFor(size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t, size_t)>& body) {
   if (begin >= end) return;
   const size_t n = end - begin;
-  const int threads = EffectiveNumThreads();
-  if (threads <= 1 || t_in_parallel_region || n <= grain) {
+  const int width = CurrentParallelWidth();
+  if (width <= 1 || n <= grain) {
     body(begin, end);
     return;
   }
   // Oversplit (~4 chunks per thread) so dynamic claiming balances uneven
   // rows, e.g. skewed sparse row lengths.
-  const size_t target_chunks = static_cast<size_t>(threads) * 4;
+  const size_t target_chunks = static_cast<size_t>(width) * 4;
   const size_t chunk =
       std::max(grain, std::max<size_t>(1, (n + target_chunks - 1) /
                                               target_chunks));
   const size_t num_chunks = (n + chunk - 1) / chunk;
-  ThreadPool::Instance().Run(threads, num_chunks, [&](size_t i) {
+  ThreadPool::Instance().Run(width, num_chunks, [&](size_t i) {
     const size_t lo = begin + i * chunk;
     const size_t hi = std::min(end, lo + chunk);
     body(lo, hi);
@@ -187,16 +266,26 @@ double ParallelReduce(size_t begin, size_t end, size_t grain,
   if (begin >= end) return 0.0;
   TRICLUST_CHECK_GT(grain, 0u);
   const size_t n = end - begin;
-  const int threads = EffectiveNumThreads();
-  if (threads <= 1 || t_in_parallel_region || n <= grain) {
-    return chunk_sum(begin, end);
+  const size_t num_chunks = (n + grain - 1) / grain;
+  if (num_chunks == 1) return chunk_sum(begin, end);
+  const int width = CurrentParallelWidth();
+  if (width <= 1) {
+    // Same fixed chunks, same combine order as the parallel path below —
+    // this is what makes the reduction bit-identical at EVERY width, so a
+    // fit under any thread budget reproduces a serial fit exactly.
+    double total = 0.0;
+    for (size_t i = 0; i < num_chunks; ++i) {
+      const size_t lo = begin + i * grain;
+      const size_t hi = std::min(end, lo + grain);
+      total += chunk_sum(lo, hi);
+    }
+    return total;
   }
   // Fixed-size chunks: the partition depends only on (n, grain), never on
-  // the thread count, and partials are combined in chunk order — see the
+  // the width, and partials are combined in chunk order — see the
   // determinism contract in parallel.h.
-  const size_t num_chunks = (n + grain - 1) / grain;
   std::vector<double> partials(num_chunks, 0.0);
-  ThreadPool::Instance().Run(threads, num_chunks, [&](size_t i) {
+  ThreadPool::Instance().Run(width, num_chunks, [&](size_t i) {
     const size_t lo = begin + i * grain;
     const size_t hi = std::min(end, lo + grain);
     partials[i] = chunk_sum(lo, hi);

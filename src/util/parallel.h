@@ -6,58 +6,128 @@
 
 namespace triclust {
 
-/// Process-wide compute parallelism for the solver kernels.
+/// Hierarchical compute parallelism for the solver kernels.
 ///
 /// The hot kernels of Algorithm 1/2 (SpMM, the dense k×k algebra, the loss
 /// reductions) are row-partitionable, so they all funnel through the two
-/// primitives below, backed by one persistent process-wide thread pool.
+/// primitives below, backed by one persistent process-wide worker pool.
 /// Workers are spawned lazily on the first parallel call and reused for the
 /// lifetime of the process; a solver iteration therefore never pays thread
 /// creation cost.
 ///
-/// Determinism contract:
+/// The scheduler is TWO-LEVEL. The pool accepts any number of concurrent
+/// jobs: a campaign-tier ParallelFor can fan a batch of solver fits out
+/// across the fleet while each fit's kernel-tier ParallelFor/ParallelReduce
+/// calls run row-parallel *inside* their campaign task, all sharing one set
+/// of workers. What keeps the tiers from oversubscribing each other is the
+/// per-fit ThreadBudget: every parallel call resolves its width from the
+/// budget installed on the calling thread (see ScopedThreadBudget), not
+/// from a process-global count, so a serving layer can hand each of R
+/// concurrent fits roughly threads/R of the machine and still use all of it
+/// when R is small.
+///
+/// Width resolution for a ParallelFor/ParallelReduce call, in order:
+///  1. the ThreadBudget installed on the calling thread, if any
+///     (ScopedThreadBudget / ScopedSerialKernels);
+///  2. otherwise, 1 if the thread is executing a chunk of another parallel
+///     region (implicit nesting degrades to serial rather than exploding);
+///  3. otherwise, the process-wide default (SetNumThreads).
+/// Budgets do not leak downward: a chunk body starts with no installed
+/// budget (rule 2 applies) and must install its own to go parallel — this
+/// is exactly what CampaignEngine does per sharded fit.
+///
+/// Determinism contract — results are bit-identical at EVERY width:
 ///  - ParallelFor: each index is processed by exactly one thread with the
-///    same per-index code as the serial loop, so kernels that write disjoint
-///    output rows are *bit-identical* for every thread count.
+///    same per-index code as the serial loop, so kernels that write
+///    disjoint output rows are bit-identical for every width.
 ///  - ParallelReduce: the range is cut into fixed-size chunks (independent
-///    of thread count), chunk partial sums are combined in chunk order.
-///    Results are bit-identical across any thread count ≥ 2; the 1-thread
-///    path sums the whole range in one chunk and is bit-identical to the
-///    plain serial loop.
+///    of the width), chunk partial sums are combined in chunk order, and
+///    the 1-width path walks the *same* chunks in the same combine order
+///    serially. Results are therefore bit-identical across all widths,
+///    including 1 — which is what lets a fit running under any budget split
+///    reproduce a standalone serial fit exactly.
 ///
 /// Thread count resolution: 0 = std::thread::hardware_concurrency(),
 /// 1 = strict serial (no pool involvement), n = at most n concurrent
-/// threads (the calling thread participates as one of them).
-///
-/// The budget is PROCESS-GLOBAL: two fits running concurrently on
-/// different threads share (and stomp) one setting, so concurrent fits in
-/// one process must use the same num_threads — or be serialized — to keep
-/// the per-fit determinism guarantees. Parallelism *within* a fit is the
-/// supported path to multicore; per-fit isolation of the budget would need
-/// the thread count plumbed through every kernel call.
+/// threads (the calling thread participates as one of them). An
+/// oversubscribed schedule (budgets summing past the pool) degrades
+/// gracefully: helpers are a scheduling hint, each job always makes
+/// progress on its submitting thread, and results never depend on how many
+/// helpers actually joined.
 
-/// Sets the process-wide thread count used by subsequent kernel calls.
-/// Thread safety: atomic store, callable from any thread — but because
-/// the setting is process-global, changing it while another thread is
-/// inside a fit changes *that* fit's behavior too; see the contract above.
+/// Sets the process-wide *default* width used by parallel calls from
+/// threads with no installed ThreadBudget. Thread safety: atomic store,
+/// callable from any thread.
 void SetNumThreads(int n);
 
-/// The configured thread count (0 = auto). Thread safety: atomic load,
-/// callable from any thread.
+/// The configured process-wide default (0 = auto). Thread safety: atomic
+/// load, callable from any thread.
 int GetNumThreads();
 
-/// The resolved concurrent-thread budget, always ≥ 1 (0 resolved through
+/// The resolved process-wide default, always ≥ 1 (0 resolved through
 /// hardware_concurrency). Thread safety: callable from any thread.
 int EffectiveNumThreads();
 
-/// RAII: sets the process-wide thread count for a scope (one solver fit),
-/// restoring the previous value on destruction. This is how
-/// TriClusterConfig::num_threads flows from a clusterer into the kernels.
-///
-/// Thread safety: the guarded setting is PROCESS-GLOBAL, so two scopes
-/// live on different threads stomp each other's value (and the restore
-/// order is last-destroyed-wins). Use one scope at a time per process —
-/// or ScopedSerialKernels, which is per-thread, for concurrent fits.
+/// The width the *next* ParallelFor/ParallelReduce on this thread would
+/// use, after budget → nesting → global resolution (always ≥ 1). Exposed
+/// for tests and for kernels that pick an algorithm by width.
+int CurrentParallelWidth();
+
+/// An explicit per-fit thread budget: how many concurrent threads one
+/// solver fit may occupy. A budget is a plain value — copy it, store it in
+/// a workspace, pass it down — and takes effect only while installed on a
+/// thread via ScopedThreadBudget. 0 resolves to hardware concurrency; an
+/// *ambient* budget (the default-constructed value) means "no opinion":
+/// installing it is a no-op and the thread keeps resolving by rules 2–3.
+class ThreadBudget {
+ public:
+  /// Ambient: defer to the calling context (nesting rule / global default).
+  ThreadBudget() : threads_(kAmbient) {}
+  /// Explicit budget of `threads` (≥ 0; 0 = hardware concurrency).
+  explicit ThreadBudget(int threads);
+
+  static ThreadBudget Ambient() { return ThreadBudget(); }
+  static ThreadBudget Serial() { return ThreadBudget(1); }
+
+  bool is_ambient() const { return threads_ == kAmbient; }
+  /// The raw setting (0 = auto). Must not be called on an ambient budget.
+  int threads() const;
+  /// The resolved concurrent-thread width, always ≥ 1. Must not be called
+  /// on an ambient budget.
+  int resolved() const;
+
+ private:
+  friend class ScopedThreadBudget;
+  static constexpr int kAmbient = -1;
+  int threads_;
+};
+
+/// RAII: installs `budget` as the calling thread's budget for the scope's
+/// lifetime, restoring the previous state on destruction. Installing an
+/// ambient budget is a no-op (the previous state stays in effect). Scopes
+/// nest (innermost wins) and are THREAD-LOCAL: budgets on different
+/// threads are fully independent, so concurrent fits with different
+/// budgets never stomp each other — this replaces the historical
+/// process-global ScopedNumThreads for everything that may run
+/// concurrently.
+class ScopedThreadBudget {
+ public:
+  explicit ScopedThreadBudget(ThreadBudget budget);
+  ~ScopedThreadBudget();
+  ScopedThreadBudget(const ScopedThreadBudget&) = delete;
+  ScopedThreadBudget& operator=(const ScopedThreadBudget&) = delete;
+
+ private:
+  int previous_;
+  bool installed_;
+};
+
+/// RAII: sets the process-wide default width for a scope, restoring the
+/// previous value on destruction. The guarded setting is PROCESS-GLOBAL,
+/// so two scopes live on different threads stomp each other's value — use
+/// ScopedThreadBudget (per-thread) for anything concurrent. Retained for
+/// single-threaded callers (tests, CLI tools) that want to steer code they
+/// do not own a config for.
 class ScopedNumThreads {
  public:
   explicit ScopedNumThreads(int n);
@@ -70,21 +140,11 @@ class ScopedNumThreads {
 };
 
 /// RAII: forces every kernel call made by the *current thread* onto the
-/// exact serial code path for the scope's lifetime — the same path as a
-/// thread budget of 1 — regardless of the process-wide setting. Nested
-/// scopes compose (the previous mode is restored on destruction).
-///
-/// This is how the serving layer runs many independent campaign fits
-/// concurrently without touching the process-global budget: each sharded
-/// fit wraps itself in a ScopedSerialKernels, so its kernels are
-/// bit-identical to a standalone num_threads = 1 fit whether the fit runs
-/// inline, on a pool worker, or next to seven sibling fits. (Kernels
-/// running *inside* a pool job already degrade to serial; this scope makes
-/// that guarantee explicit and independent of how the fit was scheduled.)
-///
-/// Thread safety: the guarded flag is thread-local, so scopes on
-/// different threads are fully independent — this is the concurrency-safe
-/// counterpart of ScopedNumThreads.
+/// serial code path for the scope's lifetime — shorthand for
+/// ScopedThreadBudget(ThreadBudget::Serial()). Nested scopes compose, and
+/// a nested ScopedThreadBudget with a wider budget overrides it (innermost
+/// wins), which is how a budget-of-1 campaign fit degenerates to exactly
+/// this scope's historical behavior.
 class ScopedSerialKernels {
  public:
   ScopedSerialKernels();
@@ -93,19 +153,20 @@ class ScopedSerialKernels {
   ScopedSerialKernels& operator=(const ScopedSerialKernels&) = delete;
 
  private:
-  bool previous_;
+  ScopedThreadBudget budget_;
 };
 
 /// Runs body(chunk_begin, chunk_end) over disjoint sub-ranges covering
 /// [begin, end). `grain` is the minimum chunk size (load-balancing hint;
-/// does not affect results for disjoint-output bodies). With an effective
-/// thread count of 1 — or when called from inside another parallel region —
-/// runs body(begin, end) inline.
+/// does not affect results for disjoint-output bodies). With a resolved
+/// width of 1 — or when called from inside another parallel region with no
+/// budget installed — runs body(begin, end) inline.
 ///
-/// Thread safety: callable from any thread, including pool workers (the
-/// nested call degrades to the inline serial path rather than deadlocking
-/// on the pool). The caller must ensure bodies on different sub-ranges
-/// touch disjoint data.
+/// Thread safety: callable from any thread, including pool workers. Calls
+/// from distinct threads run as concurrent pool jobs sharing the worker
+/// set; a chunk body that installs a ThreadBudget may itself call
+/// ParallelFor (the two-level schedule). The caller must ensure bodies on
+/// different sub-ranges touch disjoint data.
 ///
 /// Bodies should not throw: an exception on the calling thread is
 /// propagated only after all pool workers drained the job, and an
@@ -116,10 +177,11 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t, size_t)>& body);
 
 /// Sum of chunk_sum(chunk_begin, chunk_end) over fixed-size chunks of
-/// [begin, end), combined in chunk order (see determinism contract above).
-/// `grain` is the fixed chunk size and must not depend on the thread count.
-/// Thread safety: as ParallelFor; chunk_sum must be a pure function of its
-/// range (it may run on any thread, in any order).
+/// [begin, end), combined in chunk order. `grain` is the fixed chunk size
+/// and must not depend on the width. Bit-identical at every width,
+/// including 1 (see the determinism contract above). Thread safety: as
+/// ParallelFor; chunk_sum must be a pure function of its range (it may run
+/// on any thread, in any order).
 double ParallelReduce(size_t begin, size_t end, size_t grain,
                       const std::function<double(size_t, size_t)>& chunk_sum);
 

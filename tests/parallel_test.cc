@@ -73,15 +73,18 @@ TEST(ParallelReduceTest, DeterministicAcrossThreadCounts) {
     for (size_t i = begin; i < end; ++i) total += values[i];
     return total;
   };
-  double results[2];
+  double results[3];
   int idx = 0;
-  for (int t : {2, 4}) {
+  for (int t : {1, 2, 4}) {
     ScopedNumThreads threads(t);
     results[idx++] =
         ParallelReduce(0, values.size(), kReduceFlatGrain, chunk_sum);
   }
-  // Fixed-grain chunks summed in order: bit-identical for any count ≥ 2.
+  // Fixed-grain chunks summed in chunk order at EVERY count — the 1-thread
+  // path walks the same chunks serially, so it is bit-identical too (the
+  // invariance the per-fit budget splits rely on; see parallel.h).
   EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[1], results[2]);
 }
 
 /// Row-partitioned kernels must be bit-identical at any thread count.
@@ -173,8 +176,11 @@ TEST_F(RowPartitionedKernelTest, SpTMMMatchesSpMMOverTransposeBitwise) {
   EXPECT_EQ(SpMM(xt, tall_), scatter);
 }
 
-/// Reductions: serial vs parallel agree within accumulated rounding, and
-/// any two parallel thread counts agree bitwise.
+/// Reductions: fixed-grain chunking makes every thread count (including 1)
+/// agree bitwise; the tolerance checks below additionally tie the chunked
+/// result to the plain serial accumulation it replaced.
+/// tests/thread_budget_test.cc holds the exhaustive any-width bit-identity
+/// coverage.
 class ReductionKernelTest : public ::testing::Test {
  protected:
   ReductionKernelTest()
@@ -203,13 +209,14 @@ TEST_F(ReductionKernelTest, MatMulAtBWithinTolerance) {
 }
 
 TEST_F(ReductionKernelTest, MatMulAtBDeterministicAcrossThreadCounts) {
-  DenseMatrix results[2];
+  DenseMatrix results[3];
   int idx = 0;
-  for (int t : {2, 4}) {
+  for (int t : {1, 2, 4}) {
     ScopedNumThreads threads(t);
     results[idx++] = MatMulAtB(u_, u_);
   }
   EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[1], results[2]);
 }
 
 TEST_F(ReductionKernelTest, FrobeniusNormSquaredWithinTolerance) {
@@ -243,9 +250,9 @@ TEST_F(ReductionKernelTest, GraphLaplacianQuadraticFormWithinTolerance) {
               expected, 1e-10 * std::fabs(expected) + 1e-10);
 }
 
-/// Full solver: a 4-thread offline fit must match the serial fit to tight
-/// tolerance (the only thread-sensitive kernels are the fixed-grain
-/// reductions; every factor update itself is row-partitioned and exact).
+/// Full solver: a 4-thread offline fit must match the serial fit (the
+/// fixed-grain reductions and row-partitioned updates are width-invariant;
+/// thread_budget_test pins the stronger bitwise form of this guarantee).
 TEST(ParallelSolverTest, OfflineFitMatchesSerial) {
   const SmallProblem p = MakeSmallProblem();
   TriClusterConfig config;

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -205,42 +206,110 @@ TEST(CampaignEngineTest, FourCampaignsMatchFourStandaloneClusterers) {
   }
 }
 
+/// Streams a small fleet through one engine under the given thread options
+/// and returns every fitted result in report order. Campaign 1 only gets
+/// data on day 0, so later days advance a single pending campaign — the
+/// budget-split path where one fit gets the whole pool.
+std::vector<TriClusterResult> RunBudgetFleet(int num_threads,
+                                             int per_fit_threads,
+                                             size_t num_campaigns = 2) {
+  std::vector<Fixture> fixtures;
+  for (size_t i = 0; i < num_campaigns; ++i) {
+    fixtures.push_back(MakeFixture(5 + 4 * i));
+  }
+  serving::CampaignEngine::Options options;
+  options.num_threads = num_threads;
+  options.per_fit_threads = per_fit_threads;
+  serving::CampaignEngine engine(options);
+  for (size_t i = 0; i < fixtures.size(); ++i) {
+    engine.AddCampaign("c" + std::to_string(i), FastConfig(),
+                       fixtures[i].problem.sf0, fixtures[i].problem.builder,
+                       &fixtures[i].problem.dataset.corpus);
+  }
+  std::vector<TriClusterResult> results;
+  for (size_t day = 0; day < 3; ++day) {
+    engine.Ingest(0, fixtures[0].days[day].tweet_ids, static_cast<int>(day));
+    if (day == 0) {
+      for (size_t i = 1; i < fixtures.size(); ++i) {
+        engine.Ingest(i, fixtures[i].days[0].tweet_ids, 0);
+      }
+    }
+    for (auto& report : engine.Advance()) {
+      results.push_back(std::move(report.result));
+    }
+  }
+  return results;
+}
+
 TEST(CampaignEngineTest, ResultsIndependentOfEngineThreadBudget) {
   // The same fleet advanced with 1 thread and with 4 threads (and with a
   // sibling count that exercises the inline single-fit path) must agree
   // bitwise.
-  auto run = [](int num_threads) {
-    std::vector<Fixture> fixtures;
-    for (uint64_t seed : {5, 9}) fixtures.push_back(MakeFixture(seed));
-    serving::CampaignEngine::Options options;
-    options.num_threads = num_threads;
-    serving::CampaignEngine engine(options);
-    for (size_t i = 0; i < fixtures.size(); ++i) {
-      engine.AddCampaign("c" + std::to_string(i), FastConfig(),
-                         fixtures[i].problem.sf0, fixtures[i].problem.builder,
-                         &fixtures[i].problem.dataset.corpus);
-    }
-    std::vector<TriClusterResult> results;
-    for (size_t day = 0; day < 3; ++day) {
-      // Campaign 1 only gets data on day 0: later days advance a single
-      // pending campaign, the inline (non-pooled) sharding path.
-      engine.Ingest(0, fixtures[0].days[day].tweet_ids,
-                    static_cast<int>(day));
-      if (day == 0) {
-        engine.Ingest(1, fixtures[1].days[0].tweet_ids, 0);
-      }
-      for (auto& report : engine.Advance()) {
-        results.push_back(std::move(report.result));
-      }
-    }
-    return results;
-  };
-
-  const auto serial = run(1);
-  const auto sharded = run(4);
+  const auto serial = RunBudgetFleet(1, 0);
+  const auto sharded = RunBudgetFleet(4, 0);
   ASSERT_EQ(serial.size(), sharded.size());
   for (size_t i = 0; i < serial.size(); ++i) {
     ExpectSameFactors(sharded[i], serial[i], "result " + std::to_string(i));
+  }
+}
+
+TEST(CampaignEngineTest, ResultsIndependentOfPerFitBudgetSplit) {
+  // Engine-vs-engine bitwise equality across every budget-split shape the
+  // hierarchical scheduler produces: serial baseline; the N×1 historical
+  // sharding (per_fit_threads = 1); 1×N (2 fits splitting 8 threads, and a
+  // lone pending fit taking the whole pool on days 1–2); an uneven split
+  // with remainder spill (3 fits over 4 threads → {2, 1, 1}); and an
+  // oversubscribed schedule (every fit forced to 4 threads on a 2-thread
+  // pool). The kernels are width-invariant, so all must agree bitwise.
+  const auto reference = RunBudgetFleet(1, 0);
+  const struct {
+    int num_threads;
+    int per_fit_threads;
+  } variants[] = {{4, 1}, {8, 0}, {2, 4}};
+  for (const auto& v : variants) {
+    const auto got = RunBudgetFleet(v.num_threads, v.per_fit_threads);
+    ASSERT_EQ(got.size(), reference.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ExpectSameFactors(got[i], reference[i],
+                        "threads " + std::to_string(v.num_threads) +
+                            " per-fit " + std::to_string(v.per_fit_threads) +
+                            " result " + std::to_string(i));
+    }
+  }
+
+  // Uneven remainder spill needs 3 campaigns: 4 threads → budgets {2,1,1}.
+  const auto uneven_reference = RunBudgetFleet(1, 0, 3);
+  const auto uneven = RunBudgetFleet(4, 0, 3);
+  ASSERT_EQ(uneven.size(), uneven_reference.size());
+  for (size_t i = 0; i < uneven.size(); ++i) {
+    ExpectSameFactors(uneven[i], uneven_reference[i],
+                      "uneven result " + std::to_string(i));
+  }
+}
+
+TEST(CampaignEngineTest, ZeroThreadsMeansHardwareConcurrency) {
+  // EngineOptions::num_threads = 0 is documented as "use hardware
+  // concurrency": pin the resolution (and that the resolved pool still
+  // yields bit-identical results) while the option's meaning changes from
+  // campaign-only sharding to the hierarchical split.
+  serving::CampaignEngine::Options options;
+  options.num_threads = 0;
+  serving::CampaignEngine engine(options);
+  const unsigned hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(engine.effective_num_threads(),
+            hw > 0 ? static_cast<int>(hw) : 1);
+
+  serving::CampaignEngine::Options explicit_options;
+  explicit_options.num_threads = 3;
+  EXPECT_EQ(serving::CampaignEngine(explicit_options).effective_num_threads(),
+            3);
+
+  const auto reference = RunBudgetFleet(1, 0);
+  const auto automatic = RunBudgetFleet(0, 0);
+  ASSERT_EQ(automatic.size(), reference.size());
+  for (size_t i = 0; i < automatic.size(); ++i) {
+    ExpectSameFactors(automatic[i], reference[i],
+                      "auto-threads result " + std::to_string(i));
   }
 }
 
