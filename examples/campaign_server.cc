@@ -5,6 +5,11 @@
 /// combined dashboard. Mid-stream it checkpoints the whole fleet through a
 /// CampaignStore, and at the end it proves the restart path: a fresh engine
 /// restored from the store replays the remaining days bit-identically.
+/// A final act demonstrates graceful degradation: one campaign's stream is
+/// poisoned with NaNs, the engine degrades and quarantines only that
+/// campaign (the rest keep serving), and a checkpoint restore plus
+/// ReviveCampaign() brings it back — with HealthReport() dashboards at
+/// every step.
 ///
 /// Build & run:
 ///   cmake -B build -G Ninja && cmake --build build
@@ -12,6 +17,7 @@
 
 #include <algorithm>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -57,8 +63,32 @@ OnlineConfig ServingConfig() {
 }
 
 size_t Register(serving::CampaignEngine* engine, const CampaignSetup& c) {
-  return engine->AddCampaign(c.name, ServingConfig(), c.sf0, c.builder,
-                             &c.dataset.corpus);
+  // Registration input is trusted here (names are literals above), so an
+  // InvalidArgument/AlreadyExists from AddCampaign would be a demo bug —
+  // value() aborts with the status in that case.
+  return engine
+      ->AddCampaign(c.name, ServingConfig(), c.sf0, c.builder,
+                    &c.dataset.corpus)
+      .value();
+}
+
+/// Prints engine.HealthReport() the way a /health endpoint would render it.
+void PrintHealthDashboard(const serving::CampaignEngine& engine,
+                          const std::string& title) {
+  const serving::EngineHealthReport report = engine.HealthReport();
+  TableWriter table(title + "  [" + std::to_string(report.healthy) +
+                    " healthy, " + std::to_string(report.degraded) +
+                    " degraded, " + std::to_string(report.quarantined) +
+                    " quarantined]");
+  table.SetHeader({"campaign", "health", "fails", "timestep", "pending",
+                   "last error"});
+  for (const serving::CampaignHealthStatus& c : report.campaigns) {
+    table.AddRow({c.name, serving::CampaignHealthName(c.health),
+                  std::to_string(c.consecutive_failures),
+                  std::to_string(c.timestep), std::to_string(c.pending),
+                  c.last_error.ok() ? "-" : c.last_error.ToString()});
+  }
+  table.Print(std::cout);
 }
 
 void Run() {
@@ -181,6 +211,70 @@ void Run() {
             << (identical ? "bit-identical to the uninterrupted run"
                           : "MISMATCH (bug!)")
             << "\n";
+
+  // --- graceful degradation: quarantine one campaign, revive it -----------
+  // Poison prop37's stream state with NaNs (standing in for any way a
+  // stream can go bad in production) and keep the fleet running. Each
+  // Advance() rejects the victim's non-finite fit and rolls its state
+  // back — degraded, then quarantined after the engine's failure
+  // threshold — while the other campaigns keep fitting normally. Recovery
+  // is the ordinary ops play: restore the last good checkpoint and revive.
+  std::cout << "\n";
+  const ptrdiff_t victim_id = restarted.FindCampaign("prop37");
+  const size_t victim = static_cast<size_t>(victim_id);
+  StreamState poisoned = restarted.state(victim);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (DenseMatrix& sf : poisoned.sf_history) sf.Fill(nan);
+  for (auto& [user, rows] : poisoned.user_history) {
+    for (std::vector<double>& row : rows) {
+      std::fill(row.begin(), row.end(), nan);
+    }
+  }
+  restarted.set_state(victim, std::move(poisoned));
+  std::cout << "poisoned '" << restarted.name(victim)
+            << "' stream state with NaNs; advancing the fleet...\n";
+
+  const std::vector<size_t>& replay_tweets =
+      campaigns[victim].days.back().tweet_ids;
+  const int replay_day = static_cast<int>(campaigns[victim].days.size()) - 1;
+  for (int round = 0;
+       restarted.health(victim) != serving::CampaignHealth::kQuarantined;
+       ++round) {
+    if (round >= 10) {  // quarantine threshold is 3; 10 means a bug
+      std::cerr << "campaign never quarantined (bug!)\n";
+      return;
+    }
+    restarted.Ingest(victim, replay_tweets, replay_day);
+    serving::AdvanceOptions advance;
+    advance.include_idle = true;  // the healthy campaigns keep advancing
+    restarted.Advance(advance);
+    const serving::CampaignHealthStatus row =
+        restarted.HealthReport().campaigns[victim];
+    std::cout << "  after advance: " << row.name << " is "
+              << serving::CampaignHealthName(row.health) << " ("
+              << row.consecutive_failures << " consecutive failures)\n";
+  }
+  PrintHealthDashboard(restarted, "Fleet health with one poisoned campaign "
+                                  "(the rest keep serving)");
+
+  // Recovery: restore the whole fleet from the day-5 checkpoint (the
+  // victim's clean pre-poison state) and re-admit it to scheduling.
+  const Status recovered = store.Restore(&restarted);
+  if (!recovered.ok()) {
+    std::cerr << "recovery restore failed: " << recovered.ToString() << "\n";
+    return;
+  }
+  restarted.ReviveCampaign(victim);
+  restarted.Ingest(victim, replay_tweets, replay_day);
+  serving::AdvanceOptions advance;
+  advance.include_idle = true;
+  restarted.Advance(advance);
+  PrintHealthDashboard(restarted,
+                       "Fleet health after checkpoint restore + revival");
+  std::cout << (restarted.HealthReport().AllHealthy()
+                    ? "quarantined campaign revived from the checkpoint; "
+                      "fleet fully healthy again\n"
+                    : "fleet still unhealthy after revival (bug!)\n");
 }
 
 }  // namespace

@@ -1,9 +1,10 @@
 #include "src/core/online.h"
 
-#include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "src/util/file_util.h"
+#include "src/util/fs.h"
 #include "src/util/parallel.h"
 
 namespace triclust {
@@ -17,13 +18,22 @@ std::vector<double> OnlineTriClusterer::UserSentiment(
 }
 
 Status OnlineTriClusterer::SaveState(const std::string& path) const {
-  return AtomicWriteFile(
-      path, [this](std::ostream* os) { return state_.Write(os); });
+  return AtomicWriteFileChecksummed(
+      GetDefaultFileSystem(), path,
+      [this](std::ostream* os) { return state_.Write(os); });
 }
 
 Status OnlineTriClusterer::RestoreState(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
+  TRICLUST_ASSIGN_OR_RETURN(std::string contents,
+                            GetDefaultFileSystem()->ReadFileToString(path));
+  // Checkpoints written before the integrity trailer existed load
+  // unchanged — VerifyChecksummedPayload passes trailer-less contents
+  // through (docs/FORMATS.md §4).
+  TRICLUST_ASSIGN_OR_RETURN(
+      const std::string payload,
+      VerifyChecksummedPayload(std::move(contents), path,
+                               /*had_trailer=*/nullptr));
+  std::istringstream in(payload);
   TRICLUST_ASSIGN_OR_RETURN(
       StreamState state,
       StreamState::Read(&in, solver_.sf0().rows(), solver_.sf0().cols()));

@@ -1,6 +1,7 @@
 #include "src/serving/campaign_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "src/util/logging.h"
@@ -9,6 +10,40 @@
 
 namespace triclust {
 namespace serving {
+
+namespace {
+
+bool AllFinite(const DenseMatrix& m) {
+  const double* data = m.data();
+  const size_t n = m.rows() * m.cols();
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) return false;
+  }
+  return true;
+}
+
+/// A fit is accepted only when every factor it produced is finite: a NaN
+/// or Inf anywhere means a poisoned stream (corrupt restore, degenerate
+/// input) and would contaminate the rolled-forward state for every later
+/// snapshot.
+bool ResultIsFinite(const TriClusterResult& result) {
+  return AllFinite(result.sp) && AllFinite(result.su) &&
+         AllFinite(result.sf) && AllFinite(result.hp) && AllFinite(result.hu);
+}
+
+}  // namespace
+
+const char* CampaignHealthName(CampaignHealth health) {
+  switch (health) {
+    case CampaignHealth::kHealthy:
+      return "healthy";
+    case CampaignHealth::kDegraded:
+      return "degraded";
+    case CampaignHealth::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
 
 CampaignEngine::CampaignEngine(Options options) : options_(options) {
   TRICLUST_CHECK_GE(options_.num_threads, 0);
@@ -32,19 +67,38 @@ std::vector<int> CampaignEngine::SplitThreadBudget(int pool_threads,
   return budgets;
 }
 
-size_t CampaignEngine::AddCampaign(std::string name, OnlineConfig config,
-                                   DenseMatrix sf0, MatrixBuilder builder,
-                                   const Corpus* corpus) {
+Result<size_t> CampaignEngine::AddCampaign(std::string name,
+                                           OnlineConfig config,
+                                           DenseMatrix sf0,
+                                           MatrixBuilder builder,
+                                           const Corpus* corpus) {
+  // A null corpus is a programming error in the caller, not admin input.
   TRICLUST_CHECK(corpus != nullptr);
-  TRICLUST_CHECK(!name.empty());
+  // Everything below is untrusted registration input: reject, don't abort.
+  if (name.empty()) {
+    return Status::InvalidArgument("campaign name must not be empty");
+  }
   // Names key the store's line-oriented manifest: no control characters,
   // and no leading space (Restore trims exactly one after the timestep).
   for (const char ch : name) {
-    TRICLUST_CHECK(static_cast<unsigned char>(ch) >= 0x20);
+    if (static_cast<unsigned char>(ch) < 0x20) {
+      return Status::InvalidArgument(
+          "campaign name contains a control character: " + name);
+    }
   }
-  TRICLUST_CHECK(name.front() != ' ');
-  TRICLUST_CHECK_EQ(sf0.rows(), builder.vocabulary().size());
-  TRICLUST_CHECK_EQ(FindCampaign(name), -1);
+  if (name.front() == ' ') {
+    return Status::InvalidArgument("campaign name has a leading space: '" +
+                                   name + "'");
+  }
+  if (sf0.rows() != builder.vocabulary().size()) {
+    return Status::InvalidArgument(
+        "campaign '" + name + "': sf0 has " + std::to_string(sf0.rows()) +
+        " rows but the builder vocabulary has " +
+        std::to_string(builder.vocabulary().size()) + " features");
+  }
+  if (FindCampaign(name) != -1) {
+    return Status::AlreadyExists("campaign name already registered: " + name);
+  }
   campaigns_.push_back(std::make_unique<Campaign>(
       std::move(name), config, std::move(sf0), std::move(builder), corpus));
   return campaigns_.size() - 1;
@@ -111,10 +165,93 @@ void CampaignEngine::set_state(size_t campaign, StreamState state) {
   campaigns_[campaign]->state = std::move(state);
 }
 
+CampaignHealth CampaignEngine::health(size_t campaign) const {
+  TRICLUST_CHECK_LT(campaign, campaigns_.size());
+  return campaigns_[campaign]->health;
+}
+
+const Status& CampaignEngine::last_error(size_t campaign) const {
+  TRICLUST_CHECK_LT(campaign, campaigns_.size());
+  return campaigns_[campaign]->last_error;
+}
+
+void CampaignEngine::QuarantineCampaign(size_t campaign, Status reason) {
+  TRICLUST_CHECK_LT(campaign, campaigns_.size());
+  Campaign& c = *campaigns_[campaign];
+  c.health = CampaignHealth::kQuarantined;
+  c.last_error = std::move(reason);
+  TRICLUST_LOG(kWarning) << "campaign '" << c.name
+                         << "' quarantined: " << c.last_error.ToString();
+}
+
+void CampaignEngine::ReviveCampaign(size_t campaign) {
+  TRICLUST_CHECK_LT(campaign, campaigns_.size());
+  Campaign& c = *campaigns_[campaign];
+  c.health = CampaignHealth::kHealthy;
+  c.consecutive_failures = 0;
+  TRICLUST_LOG(kInfo) << "campaign '" << c.name << "' revived";
+}
+
+EngineHealthReport CampaignEngine::HealthReport() const {
+  EngineHealthReport report;
+  report.campaigns.reserve(campaigns_.size());
+  for (size_t i = 0; i < campaigns_.size(); ++i) {
+    const Campaign& c = *campaigns_[i];
+    CampaignHealthStatus status;
+    status.campaign = i;
+    status.name = c.name;
+    status.health = c.health;
+    status.consecutive_failures = c.consecutive_failures;
+    status.last_error = c.last_error;
+    status.timestep = c.state.timestep;
+    status.pending = c.builder.num_pending();
+    switch (c.health) {
+      case CampaignHealth::kHealthy:
+        ++report.healthy;
+        break;
+      case CampaignHealth::kDegraded:
+        ++report.degraded;
+        break;
+      case CampaignHealth::kQuarantined:
+        ++report.quarantined;
+        break;
+    }
+    report.campaigns.push_back(std::move(status));
+  }
+  return report;
+}
+
+void CampaignEngine::RecordFitOutcome(Campaign* campaign, Status status) {
+  if (status.ok()) {
+    campaign->health = CampaignHealth::kHealthy;
+    campaign->consecutive_failures = 0;
+    return;
+  }
+  campaign->last_error = std::move(status);
+  ++campaign->consecutive_failures;
+  if (options_.quarantine_after_failures > 0 &&
+      campaign->consecutive_failures >= options_.quarantine_after_failures) {
+    campaign->health = CampaignHealth::kQuarantined;
+    TRICLUST_LOG(kWarning)
+        << "campaign '" << campaign->name << "' quarantined after "
+        << campaign->consecutive_failures
+        << " consecutive fit failures: " << campaign->last_error.ToString();
+  } else {
+    campaign->health = CampaignHealth::kDegraded;
+    TRICLUST_LOG(kWarning)
+        << "campaign '" << campaign->name << "' degraded ("
+        << campaign->consecutive_failures << " consecutive failure(s)): "
+        << campaign->last_error.ToString();
+  }
+}
+
 std::vector<CampaignEngine::SnapshotReport> CampaignEngine::Advance(
     const AdvanceOptions& options) {
   std::vector<size_t> targets;
   for (size_t i = 0; i < campaigns_.size(); ++i) {
+    // Quarantined campaigns are out of rotation entirely: their queues
+    // keep accumulating and ReviveCampaign() re-admits them.
+    if (campaigns_[i]->health == CampaignHealth::kQuarantined) continue;
     if (campaigns_[i]->builder.num_pending() > 0 || options.include_idle) {
       targets.push_back(i);
     }
@@ -156,11 +293,28 @@ std::vector<CampaignEngine::SnapshotReport> CampaignEngine::Advance(
       c.workspace.budget = ThreadBudget(fit_budgets[t]);
       const Stopwatch fit_clock;
       report.label_day = c.pending_label_day;
+      // Rollback point: a rejected fit must not leave the half-advanced
+      // state behind. The copy is cheap next to the solve it guards.
+      StreamState pre_fit_state = c.state;
       report.data = c.builder.EmitSnapshot(*c.corpus, c.pending_label_day);
       report.result =
           c.solver.Solve(report.data, &c.state, &report.info, &c.workspace);
       report.solve_ms = fit_clock.ElapsedMillis();
-      report.fitted = true;
+      if (ResultIsFinite(report.result)) {
+        report.fitted = true;
+        RecordFitOutcome(&c, Status::OK());
+      } else {
+        // Poisoned snapshot: restore the pre-fit state and drop the
+        // snapshot's tweets with it — re-queueing them would re-fail every
+        // Advance forever. Only this campaign degrades.
+        c.state = std::move(pre_fit_state);
+        report.result = TriClusterResult();
+        report.status = Status::FailedPrecondition(
+            "campaign '" + c.name +
+            "': fit produced non-finite factors (snapshot dropped, state "
+            "rolled back)");
+        RecordFitOutcome(&c, report.status);
+      }
     }
   });
   std::sort(reports.begin(), reports.end(),

@@ -14,6 +14,7 @@
 #include "src/data/corpus.h"
 #include "src/data/matrix_builder.h"
 #include "src/matrix/dense_matrix.h"
+#include "src/util/status.h"
 
 namespace triclust {
 namespace serving {
@@ -73,6 +74,46 @@ struct EngineOptions {
   /// summing past `num_threads` degrade gracefully and never change
   /// results).
   int per_fit_threads = 0;
+  /// Consecutive fit failures after which a campaign is quarantined
+  /// (skipped by Advance() until ReviveCampaign()). ≤ 0 disables automatic
+  /// quarantine — failed campaigns stay degraded and keep being retried.
+  int quarantine_after_failures = 3;
+};
+
+/// Per-campaign serving health (the graceful-degradation lifecycle):
+/// kHealthy → (fit failure) → kDegraded → (quarantine_after_failures
+/// consecutive failures) → kQuarantined; any successful fit returns the
+/// campaign to kHealthy, and ReviveCampaign() re-admits a quarantined one.
+enum class CampaignHealth { kHealthy = 0, kDegraded = 1, kQuarantined = 2 };
+
+/// Stable lowercase name of a health state ("healthy", "degraded",
+/// "quarantined") for dashboards and logs.
+const char* CampaignHealthName(CampaignHealth health);
+
+/// One campaign's row in the fleet health report.
+struct CampaignHealthStatus {
+  size_t campaign = 0;
+  std::string name;
+  CampaignHealth health = CampaignHealth::kHealthy;
+  /// Failures since the last successful fit.
+  int consecutive_failures = 0;
+  /// The most recent failure (OK when the campaign never failed); kept
+  /// across recovery so operators can see what last went wrong.
+  Status last_error;
+  int timestep = 0;
+  size_t pending = 0;
+};
+
+/// Fleet-wide health snapshot — what a network front-end's /health
+/// endpoint serves.
+struct EngineHealthReport {
+  size_t healthy = 0;
+  size_t degraded = 0;
+  size_t quarantined = 0;
+  /// One entry per campaign, in campaign-id order.
+  std::vector<CampaignHealthStatus> campaigns;
+
+  bool AllHealthy() const { return degraded == 0 && quarantined == 0; }
 };
 
 struct AdvanceOptions {
@@ -97,9 +138,14 @@ class CampaignEngine {
   /// order). `builder` must already be Fit and `sf0` built over its
   /// vocabulary; `corpus` is not owned and must outlive the engine.
   /// Campaign names must be unique (they key persistence — see
-  /// CampaignStore).
-  size_t AddCampaign(std::string name, OnlineConfig config, DenseMatrix sf0,
-                     MatrixBuilder builder, const Corpus* corpus);
+  /// CampaignStore). Registration is admin input, so bad requests are
+  /// errors, not crashes: InvalidArgument for an empty name, a name with
+  /// control characters or a leading space (either would corrupt the
+  /// store's line-oriented manifest), or an `sf0` whose row count does not
+  /// match the builder's vocabulary; AlreadyExists for a duplicate name.
+  Result<size_t> AddCampaign(std::string name, OnlineConfig config,
+                             DenseMatrix sf0, MatrixBuilder builder,
+                             const Corpus* corpus);
 
   /// Number of registered campaigns. Thread safety (like every accessor
   /// below): safe from the confined caller thread; not from others while
@@ -160,11 +206,44 @@ class CampaignEngine {
   /// StreamState::Read validates this.
   void set_state(size_t campaign, StreamState state);
 
+  // --- fleet health / graceful degradation ----------------------------------
+
+  /// The campaign's current health state (see CampaignHealth).
+  CampaignHealth health(size_t campaign) const;
+
+  /// The campaign's most recent failure; OK when it never failed.
+  const Status& last_error(size_t campaign) const;
+
+  /// Forces the campaign into kQuarantined with `reason` as its last
+  /// error: Advance() skips it (its ingest queue keeps accumulating) until
+  /// ReviveCampaign(). Used by CampaignStore's partial recovery for
+  /// campaigns whose checkpoints failed verification, and available to
+  /// admin layers.
+  void QuarantineCampaign(size_t campaign, Status reason);
+
+  /// Re-admits a campaign to Advance() scheduling: health back to
+  /// kHealthy, consecutive-failure count cleared. last_error is kept for
+  /// the record until the next failure overwrites it. If the underlying
+  /// cause persists, the next fit re-degrades the campaign.
+  void ReviveCampaign(size_t campaign);
+
+  /// Fleet-wide health snapshot, one entry per campaign in id order. Safe
+  /// from the confined caller thread (like every accessor).
+  EngineHealthReport HealthReport() const;
+
   /// Outcome of one campaign's snapshot within an Advance() call.
   struct SnapshotReport {
     size_t campaign = 0;
-    /// False when the deadline deferred this fit (queue left intact).
+    /// False when the deadline deferred this fit (queue left intact) or
+    /// the fit failed (see `status`).
     bool fitted = false;
+    /// OK for a fitted or deferred snapshot; the failure when this fit was
+    /// attempted and rejected (non-finite factors — a poisoned stream).
+    /// On failure the campaign's pre-fit state is restored and the
+    /// snapshot's tweets are dropped with it (re-fitting the same poison
+    /// would fail forever), and the campaign is degraded / eventually
+    /// quarantined — see CampaignHealth.
+    Status status;
     /// The emitted snapshot (row-id maps and labels for the caller).
     DatasetMatrices data;
     TriClusterResult result;
@@ -192,7 +271,11 @@ class CampaignEngine {
 
   /// Advances every campaign with pending tweets (and idle ones when
   /// requested) by exactly one snapshot, sharding fits across the pool.
-  /// Reports are ordered by campaign id.
+  /// Reports are ordered by campaign id. Quarantined campaigns are skipped
+  /// entirely (no report; their queues keep accumulating). A fit whose
+  /// result is non-finite is rejected: that campaign's state is rolled
+  /// back, its report carries the error, and only it degrades — the rest
+  /// of the fleet advances normally (per-campaign blast radius).
   std::vector<SnapshotReport> Advance(
       const AdvanceOptions& options = AdvanceOptions());
 
@@ -214,7 +297,18 @@ class CampaignEngine {
     StreamState state;
     update::UpdateWorkspace workspace;
     int pending_label_day = -1;
+    /// Serving health (see CampaignHealth). Written only by the one worker
+    /// fitting this campaign during Advance() or by the confined caller
+    /// thread — same discipline as `state`.
+    CampaignHealth health = CampaignHealth::kHealthy;
+    int consecutive_failures = 0;
+    Status last_error;
   };
+
+  /// Updates one campaign's health after a fit attempt. Runs on the worker
+  /// that owns the campaign for this batch (exclusive access, like the
+  /// state update itself).
+  void RecordFitOutcome(Campaign* campaign, Status status);
 
   Options options_;
   std::vector<std::unique_ptr<Campaign>> campaigns_;

@@ -1,18 +1,27 @@
 #include "src/serving/campaign_store.h"
 
-#include <cstdio>
-#include <fstream>
+#include <atomic>
 #include <sstream>
 #include <utility>
 #include <vector>
 
 #include "src/core/stream_state.h"
 #include "src/util/file_util.h"
+#include "src/util/logging.h"
 
 namespace triclust {
 namespace serving {
 
 namespace {
+
+// Manifest format 2 (current) requires the integrity trailer of
+// docs/FORMATS.md §4 on the manifest and on every checkpoint it
+// references — that requirement is what lets a *truncated* checksummed
+// file (whose trailer went with the truncation) be distinguished from a
+// legacy pre-checksum file. Format 1 stores are read-only legacy:
+// trailer-less files load with a warn-once diagnostic.
+constexpr char kManifestHeaderV1[] = "triclust-campaign-store 1";
+constexpr char kManifestHeaderV2[] = "triclust-campaign-store 2";
 
 /// Checkpoint filenames carry the store generation so a Save never
 /// overwrites the files the committed manifest still points to: a crash at
@@ -30,38 +39,70 @@ struct ManifestEntry {
 };
 
 struct Manifest {
+  int version = 2;
   uint64_t generation = 0;
   std::vector<ManifestEntry> entries;
 };
 
-Result<Manifest> ReadManifest(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open manifest: " + path);
-  std::string line;
-  if (!std::getline(in, line) || line != "triclust-campaign-store 1") {
-    return Status::ParseError("bad store header: " + line);
+/// Legacy trailer-less files are expected exactly once per fleet (the
+/// first start after an upgrade), so one process-wide warning carries all
+/// the signal; per-file repetition would bury real warnings.
+void WarnLegacyOnce(const std::string& path) {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    TRICLUST_LOG(kWarning)
+        << path << ": no integrity trailer (file predates checksums); "
+        << "loading without verification. The next Save rewrites the "
+        << "store in checksummed format 2. [warn-once]";
   }
+}
+
+/// Parses an already checksum-verified manifest payload. `had_trailer`
+/// tells whether the bytes carried an integrity trailer; format 2
+/// declares one mandatory, which is how truncation that swallowed the
+/// trailer is caught here instead of being mistaken for a legacy file.
+Result<Manifest> ParseManifest(const std::string& payload,
+                               const std::string& path, bool had_trailer) {
+  std::istringstream in(payload);
+  std::string line;
   Manifest manifest;
+  if (!std::getline(in, line)) {
+    return Status::ParseError(path + ": empty manifest");
+  }
+  if (line == kManifestHeaderV2) {
+    manifest.version = 2;
+  } else if (line == kManifestHeaderV1) {
+    manifest.version = 1;
+  } else {
+    return Status::ParseError(path + ": bad store header: " + line);
+  }
+  if (manifest.version >= 2 && !had_trailer) {
+    return Status::ParseError(
+        path + ": format 2 manifest has no integrity trailer (truncated?)");
+  }
+  if (manifest.version == 1 && !had_trailer) WarnLegacyOnce(path);
   size_t count = 0;
   if (!std::getline(in, line) ||
       !(std::istringstream(line) >> manifest.generation >> count)) {
-    return Status::ParseError("malformed generation/count line: " + line);
+    return Status::ParseError(path + ": malformed generation/count line: " +
+                              line);
   }
   for (size_t i = 0; i < count; ++i) {
     if (!std::getline(in, line)) {
-      return Status::ParseError("manifest truncated");
+      return Status::ParseError(path + ": manifest truncated");
     }
     std::istringstream fields(line);
     ManifestEntry entry;
     if (!(fields >> entry.filename >> entry.timestep)) {
-      return Status::ParseError("malformed manifest entry: " + line);
+      return Status::ParseError(path + ": malformed manifest entry: " + line);
     }
     std::getline(fields, entry.name);
     if (!entry.name.empty() && entry.name.front() == ' ') {
       entry.name.erase(0, 1);
     }
     if (entry.name.empty()) {
-      return Status::ParseError("manifest entry has no name: " + line);
+      return Status::ParseError(path + ": manifest entry has no name: " +
+                                line);
     }
     manifest.entries.push_back(std::move(entry));
   }
@@ -70,19 +111,38 @@ Result<Manifest> ReadManifest(const std::string& path) {
 
 }  // namespace
 
-CampaignStore::CampaignStore(std::string directory)
-    : directory_(std::move(directory)) {}
+CampaignStore::CampaignStore(std::string directory, StoreOptions options)
+    : directory_(std::move(directory)), options_(std::move(options)) {}
 
 std::string CampaignStore::ManifestPath() const {
   return directory_ + "/MANIFEST";
 }
 
-bool CampaignStore::HasManifest() const {
-  return PathExists(ManifestPath());
+FileSystem* CampaignStore::fs() const {
+  return options_.fs != nullptr ? options_.fs : GetDefaultFileSystem();
+}
+
+bool CampaignStore::HasManifest() const { return fs()->Exists(ManifestPath()); }
+
+Result<std::string> CampaignStore::ReadFileWithRetry(
+    const std::string& path) const {
+  std::string contents;
+  TRICLUST_RETURN_IF_ERROR(RetryTransient(
+      options_.retry,
+      [this, &path, &contents]() -> Status {
+        Result<std::string> read = fs()->ReadFileToString(path);
+        if (!read.ok()) return read.status();
+        contents = std::move(read).value();
+        return Status::OK();
+      },
+      options_.sleeper));
+  return contents;
 }
 
 Status CampaignStore::Save(const CampaignEngine& engine) const {
-  TRICLUST_RETURN_IF_ERROR(CreateDirectories(directory_));
+  TRICLUST_RETURN_IF_ERROR(RetryTransient(
+      options_.retry, [this] { return fs()->CreateDirectories(directory_); },
+      options_.sleeper));
 
   // The previous generation (if any) stays untouched until the manifest
   // rename commits the new one; its files are only reclaimed afterwards.
@@ -91,37 +151,64 @@ Status CampaignStore::Save(const CampaignEngine& engine) const {
   // points to.
   Manifest previous;
   if (HasManifest()) {
-    TRICLUST_ASSIGN_OR_RETURN(previous, ReadManifest(ManifestPath()));
+    const std::string manifest_path = ManifestPath();
+    TRICLUST_ASSIGN_OR_RETURN(std::string raw,
+                              ReadFileWithRetry(manifest_path));
+    bool had_trailer = false;
+    TRICLUST_ASSIGN_OR_RETURN(
+        const std::string payload,
+        VerifyChecksummedPayload(std::move(raw), manifest_path, &had_trailer));
+    TRICLUST_ASSIGN_OR_RETURN(
+        previous, ParseManifest(payload, manifest_path, had_trailer));
   }
   const uint64_t generation = previous.generation + 1;
 
   // New-generation state files first, manifest rename last (commit point).
+  // Each file write is individually retried: a transient hiccup on one
+  // checkpoint should not abort the whole fleet save. The writer lambdas
+  // are pure (they re-serialize from the in-memory state), so re-running
+  // them on retry is safe.
   for (size_t i = 0; i < engine.num_campaigns(); ++i) {
     const StreamState& state = engine.state(i);
-    TRICLUST_RETURN_IF_ERROR(AtomicWriteFile(
-        directory_ + "/" + CampaignFileName(i, generation),
-        [&state](std::ostream* os) { return state.Write(os); }));
+    const std::string path =
+        directory_ + "/" + CampaignFileName(i, generation);
+    TRICLUST_RETURN_IF_ERROR(RetryTransient(
+        options_.retry,
+        [this, &path, &state] {
+          return AtomicWriteFileChecksummed(fs(), path, [&state](
+                                                            std::ostream* os) {
+            return state.Write(os);
+          });
+        },
+        options_.sleeper));
   }
-  TRICLUST_RETURN_IF_ERROR(
-      AtomicWriteFile(ManifestPath(), [&engine, generation](std::ostream* os) {
-        std::ostream& out = *os;
-        out << "triclust-campaign-store 1\n";
-        out << generation << " " << engine.num_campaigns() << "\n";
-        for (size_t i = 0; i < engine.num_campaigns(); ++i) {
-          out << CampaignFileName(i, generation) << " "
-              << engine.state(i).timestep << " " << engine.name(i) << "\n";
-        }
-        if (!out) return Status::IoError("manifest write failed");
-        return Status::OK();
-      }));
+  TRICLUST_RETURN_IF_ERROR(RetryTransient(
+      options_.retry,
+      [this, &engine, generation] {
+        return AtomicWriteFileChecksummed(
+            fs(), ManifestPath(), [&engine, generation](std::ostream* os) {
+              std::ostream& out = *os;
+              out << kManifestHeaderV2 << "\n";
+              out << generation << " " << engine.num_campaigns() << "\n";
+              for (size_t i = 0; i < engine.num_campaigns(); ++i) {
+                out << CampaignFileName(i, generation) << " "
+                    << engine.state(i).timestep << " " << engine.name(i)
+                    << "\n";
+              }
+              if (!out) return Status::IoError("manifest write failed");
+              return Status::OK();
+            });
+      },
+      options_.sleeper));
 
   // Best-effort reclamation: scan for files the committed manifest does
   // not reference — superseded generations, orphans left by crashes
   // between past commits and their cleanup, and stale AtomicWriteFile
   // temporaries (".tmp.<pid>") from crashed writers. Safe because the
   // store has a single writer (see header): nothing else can have an
-  // in-flight temp here.
-  auto listing = ListDirectory(directory_);
+  // in-flight temp here. Failures are ignored — the commit already
+  // happened, and the next Save retries the sweep.
+  Result<std::vector<std::string>> listing = fs()->ListDirectory(directory_);
   if (listing.ok()) {
     for (const std::string& name : listing.value()) {
       bool reclaim = false;
@@ -141,42 +228,121 @@ Status CampaignStore::Save(const CampaignEngine& engine) const {
           }
         }
       }
-      if (reclaim) std::remove((directory_ + "/" + name).c_str());
+      if (reclaim) fs()->Remove(directory_ + "/" + name);
     }
   }
   return Status::OK();
 }
 
 Status CampaignStore::Restore(CampaignEngine* engine) const {
-  TRICLUST_ASSIGN_OR_RETURN(const Manifest manifest,
-                            ReadManifest(ManifestPath()));
+  return RestoreImpl(engine, /*allow_partial=*/false, /*report=*/nullptr);
+}
 
-  // Stage every state first so a mid-list failure cannot leave the engine
-  // half-restored (some campaigns at the stored generation, others fresh).
+Status CampaignStore::RestorePartial(CampaignEngine* engine,
+                                     RestoreReport* report) const {
+  return RestoreImpl(engine, /*allow_partial=*/true, report);
+}
+
+Status CampaignStore::RestoreImpl(CampaignEngine* engine, bool allow_partial,
+                                  RestoreReport* report) const {
+  const std::string manifest_path = ManifestPath();
+  TRICLUST_ASSIGN_OR_RETURN(std::string raw_manifest,
+                            ReadFileWithRetry(manifest_path));
+  bool manifest_had_trailer = false;
+  TRICLUST_ASSIGN_OR_RETURN(const std::string manifest_payload,
+                            VerifyChecksummedPayload(std::move(raw_manifest),
+                                                     manifest_path,
+                                                     &manifest_had_trailer));
+  TRICLUST_ASSIGN_OR_RETURN(
+      const Manifest manifest,
+      ParseManifest(manifest_payload, manifest_path, manifest_had_trailer));
+
+  RestoreReport local_report;
+  local_report.generation = manifest.generation;
+
+  // Stage every outcome first so a mid-list failure cannot leave the
+  // engine half-restored (some campaigns at the stored generation, others
+  // fresh). Only after the whole manifest has been processed are states
+  // installed and — in partial mode — failed campaigns quarantined.
   std::vector<std::pair<size_t, StreamState>> staged;
+  std::vector<std::pair<size_t, Status>> quarantines;
   staged.reserve(manifest.entries.size());
+
   for (const ManifestEntry& entry : manifest.entries) {
     const ptrdiff_t campaign = engine->FindCampaign(entry.name);
     if (campaign < 0) {
+      // Not a per-campaign data problem but a registration mismatch:
+      // proceeding would silently drop the stored history, so even
+      // partial mode refuses.
       return Status::NotFound("stored campaign not registered: " +
                               entry.name);
     }
+    const size_t index = static_cast<size_t>(campaign);
     const std::string path = directory_ + "/" + entry.filename;
-    std::ifstream in(path);
-    if (!in) return Status::IoError("cannot open for reading: " + path);
-    const DenseMatrix& sf0 =
-        engine->solver(static_cast<size_t>(campaign)).sf0();
-    TRICLUST_ASSIGN_OR_RETURN(
-        StreamState state, StreamState::Read(&in, sf0.rows(), sf0.cols()));
-    if (state.timestep != entry.timestep) {
-      return Status::ParseError("manifest timestep disagrees with state: " +
-                                entry.name);
+
+    Status entry_status;
+    StreamState state;
+    do {  // single-pass scope; `break` = record entry_status and move on
+      if (!fs()->Exists(path)) {
+        entry_status = Status::NotFound(
+            path + ": referenced by manifest (generation " +
+            std::to_string(manifest.generation) + ") but absent");
+        break;
+      }
+      Result<std::string> raw = ReadFileWithRetry(path);
+      if (!raw.ok()) {
+        entry_status = raw.status();
+        break;
+      }
+      bool had_trailer = false;
+      Result<std::string> payload = VerifyChecksummedPayload(
+          std::move(raw).value(), path, &had_trailer);
+      if (!payload.ok()) {
+        entry_status = payload.status();
+        break;
+      }
+      if (manifest.version >= 2 && !had_trailer) {
+        entry_status = Status::ParseError(
+            path +
+            ": format 2 checkpoint has no integrity trailer (truncated?)");
+        break;
+      }
+      if (!had_trailer) WarnLegacyOnce(path);
+      const DenseMatrix& sf0 = engine->solver(index).sf0();
+      std::istringstream in(payload.value());
+      Result<StreamState> read =
+          StreamState::Read(&in, sf0.rows(), sf0.cols());
+      if (!read.ok()) {
+        entry_status = read.status();
+        break;
+      }
+      state = std::move(read).value();
+      if (state.timestep != entry.timestep) {
+        entry_status = Status::ParseError(
+            path + ": manifest timestep disagrees with state: " + entry.name);
+        break;
+      }
+    } while (false);
+
+    if (entry_status.ok()) {
+      staged.emplace_back(index, std::move(state));
+    } else if (allow_partial) {
+      quarantines.emplace_back(index, entry_status);
+    } else {
+      return entry_status;
     }
-    staged.emplace_back(static_cast<size_t>(campaign), std::move(state));
+    local_report.campaigns.push_back(
+        CampaignRestoreStatus{entry.name, entry.filename, entry_status});
   }
-  for (auto& [campaign, state] : staged) {
-    engine->set_state(campaign, std::move(state));
+
+  // Commit point: everything below mutates the engine and cannot fail.
+  for (auto& [index, state] : staged) {
+    engine->set_state(index, std::move(state));
   }
+  for (const auto& [index, status] : quarantines) {
+    engine->QuarantineCampaign(index, status);
+  }
+  if (report != nullptr) *report = std::move(local_report);
   return Status::OK();
 }
 

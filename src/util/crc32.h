@@ -1,0 +1,24 @@
+#ifndef TRICLUST_SRC_UTIL_CRC32_H_
+#define TRICLUST_SRC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace triclust {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/`cksum -o 3`
+/// variant) of `len` bytes at `data`. Pass a previous return value as
+/// `seed` to checksum a byte stream incrementally:
+///   crc = Crc32(a.data(), a.size());
+///   crc = Crc32(b.data(), b.size(), crc);   // == Crc32 of a+b
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+/// Convenience overload for whole strings.
+inline uint32_t Crc32(const std::string& data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_UTIL_CRC32_H_

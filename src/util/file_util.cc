@@ -1,114 +1,147 @@
 #include "src/util/file_util.h"
 
 #include <cstdio>
-#include <fstream>
+#include <sstream>
+#include <utility>
 
-#include <dirent.h>
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <sys/types.h>
 #include <unistd.h>
+
+#include "src/util/crc32.h"
 
 namespace triclust {
 
 namespace {
 
-/// fsync the file (or directory) at `path` via a fresh descriptor. POSIX
-/// flushes the *file's* data for any descriptor of it, so syncing after the
-/// ofstream closed is sufficient.
-Status SyncPath(const std::string& path) {
-  const int fd = open(path.c_str(), O_RDONLY);
-  if (fd < 0) return Status::IoError("cannot open for fsync: " + path);
-  const int rc = fsync(fd);
-  close(fd);
-  if (rc != 0) return Status::IoError("fsync failed: " + path);
-  return Status::OK();
+/// Directory component of `path` for the post-rename directory fsync.
+std::string ParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  const std::string dir = path.substr(0, slash);
+  return dir.empty() ? "/" : dir;
 }
 
-}  // namespace
-
-Status AtomicWriteFile(const std::string& path,
-                       const std::function<Status(std::ostream*)>& writer) {
+Status WriteBufferAtomically(FileSystem* fs, const std::string& path,
+                             const std::string& payload) {
   // Pid-unique temp name: concurrent writers in *different* processes
   // degrade to last-rename-wins instead of tearing each other's temp file.
   // (Two threads of one process writing the same path remain unsupported —
   // see the header contract.)
-  const std::string temp_path =
-      path + ".tmp." + std::to_string(getpid());
+  const std::string temp_path = path + ".tmp." + std::to_string(getpid());
+  Status status;
   {
-    std::ofstream out(temp_path, std::ios::trunc);
-    if (!out) {
-      return Status::IoError("cannot open for writing: " + temp_path);
-    }
-    Status status = writer(&out);
-    if (status.ok()) {
-      out.flush();
-      if (!out) status = Status::IoError("write failed: " + temp_path);
-    }
-    if (!status.ok()) {
-      out.close();
-      std::remove(temp_path.c_str());
-      return status;
-    }
-  }  // close before sync/rename so the contents are fully handed to the OS
-  // Data must be durable *before* the rename is journaled, or a power loss
-  // could commit the new name pointing at truncated data (delayed
-  // allocation) while the previous contents are already gone.
-  Status synced = SyncPath(temp_path);
-  if (!synced.ok()) {
-    std::remove(temp_path.c_str());
-    return synced;
+    TRICLUST_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                              fs->NewWritableFile(temp_path));
+    status = file->Append(payload);
+    // Data must be durable *before* the rename is journaled, or a power
+    // loss could commit the new name pointing at truncated data (delayed
+    // allocation) while the previous contents are already gone.
+    if (status.ok()) status = file->Sync();
+    if (status.ok()) status = file->Close();
   }
-  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
-    std::remove(temp_path.c_str());
-    return Status::IoError("rename failed: " + temp_path + " -> " + path);
+  if (status.ok()) status = fs->Rename(temp_path, path);
+  if (!status.ok()) {
+    fs->Remove(temp_path);  // best effort; next Save reclaims stragglers
+    return status;
   }
-  // Make the rename itself durable (directory entry update).
-  const size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash);
-  return SyncPath(dir.empty() ? "/" : dir);
+  // Make the rename itself durable (directory entry update). Past this
+  // point the new contents are committed; a failure here is reported but
+  // no longer removes anything.
+  return fs->SyncDirectory(ParentDirectory(path));
+}
+
+}  // namespace
+
+Status AtomicWriteFile(FileSystem* fs, const std::string& path,
+                       const std::function<Status(std::ostream*)>& writer) {
+  std::ostringstream buffer;
+  TRICLUST_RETURN_IF_ERROR(writer(&buffer));
+  if (!buffer) return Status::IoError("buffered write failed: " + path);
+  return WriteBufferAtomically(fs, path, buffer.str());
+}
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::function<Status(std::ostream*)>& writer) {
+  return AtomicWriteFile(GetDefaultFileSystem(), path, writer);
 }
 
 Status CreateDirectories(const std::string& path) {
-  if (path.empty()) return Status::InvalidArgument("empty directory path");
-  // Walk the path left to right, creating each component (mkdir -p).
-  std::string prefix;
-  size_t pos = 0;
-  while (pos != std::string::npos) {
-    const size_t next = path.find('/', pos + 1);
-    prefix = next == std::string::npos ? path : path.substr(0, next);
-    pos = next;
-    if (prefix.empty() || prefix == "/" || prefix == ".") continue;
-    if (mkdir(prefix.c_str(), 0755) != 0) {
-      struct stat st;
-      if (stat(prefix.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
-        return Status::IoError("cannot create directory: " + prefix);
-      }
-    }
-  }
-  return Status::OK();
+  return GetDefaultFileSystem()->CreateDirectories(path);
 }
 
 bool PathExists(const std::string& path) {
-  struct stat st;
-  return stat(path.c_str(), &st) == 0;
+  return GetDefaultFileSystem()->Exists(path);
 }
 
 Result<std::vector<std::string>> ListDirectory(const std::string& path) {
-  DIR* dir = opendir(path.c_str());
-  if (dir == nullptr) {
-    return Status::IoError("cannot open directory: " + path);
+  return GetDefaultFileSystem()->ListDirectory(path);
+}
+
+// --- checksummed payloads ----------------------------------------------------
+
+namespace {
+
+constexpr char kTrailerTag[] = "triclust-crc32 ";
+constexpr size_t kTrailerTagLen = sizeof(kTrailerTag) - 1;
+
+}  // namespace
+
+std::string AppendChecksumTrailer(std::string payload) {
+  const uint32_t crc = Crc32(payload);
+  char trailer[64];
+  std::snprintf(trailer, sizeof(trailer), "%s%08x %zu\n", kTrailerTag, crc,
+                payload.size());
+  payload += trailer;
+  return payload;
+}
+
+Result<std::string> VerifyChecksummedPayload(std::string contents,
+                                             const std::string& path,
+                                             bool* had_trailer) {
+  if (had_trailer != nullptr) *had_trailer = false;
+  // The trailer is the final '\n'-terminated line; find its start.
+  if (contents.empty() || contents.back() != '\n') return contents;
+  const size_t prev_newline = contents.find_last_of('\n', contents.size() - 2);
+  const size_t line_start =
+      prev_newline == std::string::npos ? 0 : prev_newline + 1;
+  if (contents.compare(line_start, kTrailerTagLen, kTrailerTag) != 0) {
+    return contents;  // trailer-less legacy file
   }
-  std::vector<std::string> names;
-  while (const dirent* entry = readdir(dir)) {
-    const std::string name = entry->d_name;
-    if (name == "." || name == "..") continue;
-    names.push_back(name);
+  unsigned int stored_crc = 0;
+  size_t declared_length = 0;
+  char excess = '\0';
+  const std::string line = contents.substr(line_start + kTrailerTagLen);
+  if (std::sscanf(line.c_str(), "%8x %zu%c", &stored_crc, &declared_length,
+                  &excess) != 3 ||
+      excess != '\n') {
+    return Status::ParseError(path + ": malformed checksum trailer: " +
+                              line.substr(0, line.size() - 1));
   }
-  closedir(dir);
-  return names;
+  contents.resize(line_start);  // strip the trailer; what remains is payload
+  if (contents.size() != declared_length) {
+    return Status::ParseError(
+        path + ": truncated payload (trailer declares " +
+        std::to_string(declared_length) + " bytes, " +
+        std::to_string(contents.size()) + " present)");
+  }
+  const uint32_t computed = Crc32(contents);
+  if (computed != static_cast<uint32_t>(stored_crc)) {
+    char diag[128];
+    std::snprintf(diag, sizeof(diag),
+                  "%s: checksum mismatch (stored %08x, computed %08x)",
+                  path.c_str(), stored_crc, computed);
+    return Status::ParseError(diag);
+  }
+  if (had_trailer != nullptr) *had_trailer = true;
+  return contents;
+}
+
+Status AtomicWriteFileChecksummed(
+    FileSystem* fs, const std::string& path,
+    const std::function<Status(std::ostream*)>& writer) {
+  std::ostringstream buffer;
+  TRICLUST_RETURN_IF_ERROR(writer(&buffer));
+  if (!buffer) return Status::IoError("buffered write failed: " + path);
+  return WriteBufferAtomically(fs, path, AppendChecksumTrailer(buffer.str()));
 }
 
 }  // namespace triclust

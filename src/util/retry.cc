@@ -1,0 +1,38 @@
+#include "src/util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace triclust {
+
+double RetryBackoffDelayMs(const RetryPolicy& policy, int attempt) {
+  double delay = policy.base_delay_ms;
+  for (int i = 1; i < attempt; ++i) delay *= policy.multiplier;
+  return std::min(delay, policy.max_delay_ms);
+}
+
+Status RetryTransient(const RetryPolicy& policy,
+                      const std::function<Status()>& op,
+                      const Sleeper& sleeper, int* attempts_out) {
+  Status status;
+  int attempts = 0;
+  const int max_attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    attempts = attempt;
+    status = op();
+    if (status.ok() || status.code() != StatusCode::kIoError) break;
+    if (attempt == max_attempts) break;
+    const double delay_ms = RetryBackoffDelayMs(policy, attempt);
+    if (sleeper) {
+      sleeper(delay_ms);
+    } else {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+  }
+  if (attempts_out != nullptr) *attempts_out = attempts;
+  return status;
+}
+
+}  // namespace triclust

@@ -1,0 +1,48 @@
+#ifndef TRICLUST_SRC_UTIL_RETRY_H_
+#define TRICLUST_SRC_UTIL_RETRY_H_
+
+#include <functional>
+
+#include "src/util/status.h"
+
+namespace triclust {
+
+/// Bounded exponential backoff for transient failures. Attempt a of
+/// max_attempts sleeps min(base_delay_ms * multiplier^(a-1), max_delay_ms)
+/// before retrying; the first attempt never sleeps. The defaults absorb a
+/// short disk hiccup (~3 tries inside a few ms) without turning a real
+/// outage into a hang.
+struct RetryPolicy {
+  /// Total attempts including the first. 1 = no retry.
+  int max_attempts = 3;
+  double base_delay_ms = 1.0;
+  double max_delay_ms = 64.0;
+  double multiplier = 2.0;
+};
+
+/// Injectable clock seam: receives the computed backoff delay before each
+/// re-attempt. The default (used when a null Sleeper is passed) really
+/// sleeps; tests pass a recorder to pin attempt counts and delays without
+/// wall-clock time.
+using Sleeper = std::function<void(double delay_ms)>;
+
+/// Runs `op` until it succeeds, fails with a non-transient code, or
+/// `policy.max_attempts` is exhausted; returns the last status. Only
+/// kIoError is considered transient — every other error code (parse
+/// errors, checksum mismatches, missing campaigns, ...) is deterministic
+/// and retrying it would just triple the latency of the same answer.
+/// `attempts_out` (optional) receives the number of attempts made.
+/// Thread safety: stateless; `op` and `sleeper` are called on the caller
+/// thread.
+Status RetryTransient(const RetryPolicy& policy,
+                      const std::function<Status()>& op,
+                      const Sleeper& sleeper = nullptr,
+                      int* attempts_out = nullptr);
+
+/// The delay RetryTransient sleeps before re-attempt `attempt` (1-based
+/// count of failures so far). Pure; exposed for tests.
+double RetryBackoffDelayMs(const RetryPolicy& policy, int attempt);
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_UTIL_RETRY_H_

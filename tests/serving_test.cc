@@ -8,6 +8,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -532,6 +534,235 @@ TEST(AtomicWriteTest, CreateDirectoriesIsIdempotent) {
   ASSERT_TRUE(CreateDirectories(dir).ok());
   ASSERT_TRUE(CreateDirectories(dir).ok());
   EXPECT_TRUE(PathExists(dir));
+}
+
+// --- registration validation -------------------------------------------------
+
+TEST(CampaignEngineTest, AddCampaignRejectsBadAdminInputWithoutAborting) {
+  Fixture f = MakeFixture(5);
+  serving::CampaignEngine engine;
+  const auto add = [&](const std::string& name) {
+    return engine.AddCampaign(name, FastConfig(), f.problem.sf0,
+                              f.problem.builder, &f.problem.dataset.corpus);
+  };
+
+  const Result<size_t> good = add("good-name");
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good.value(), 0u);
+
+  EXPECT_EQ(add("").status().code(), StatusCode::kInvalidArgument);
+  // Control characters would corrupt the store's line-oriented manifest.
+  EXPECT_EQ(add("two\nlines").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(add("tab\there").status().code(), StatusCode::kInvalidArgument);
+  // A leading space would be eaten by the manifest parser's field split.
+  EXPECT_EQ(add(" padded").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(add("good-name").status().code(), StatusCode::kAlreadyExists);
+  // Interior spaces are fine — the manifest keeps the name to end-of-line.
+  EXPECT_TRUE(add("two words").ok());
+
+  const DenseMatrix wrong_rows(f.problem.sf0.rows() + 1,
+                               f.problem.sf0.cols(), 0.1);
+  const Result<size_t> mismatched =
+      engine.AddCampaign("mismatched", FastConfig(), wrong_rows,
+                         f.problem.builder, &f.problem.dataset.corpus);
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
+
+  // Rejected registrations left no residue.
+  EXPECT_EQ(engine.num_campaigns(), 2u);
+  EXPECT_EQ(engine.FindCampaign("good-name"), 0);
+  EXPECT_EQ(engine.FindCampaign("two words"), 1);
+  EXPECT_EQ(engine.FindCampaign("mismatched"), -1);
+}
+
+// --- graceful degradation ----------------------------------------------------
+
+std::string EngineStateBytes(const serving::CampaignEngine& engine,
+                             size_t campaign) {
+  std::ostringstream os;
+  EXPECT_TRUE(engine.state(campaign).Write(&os).ok());
+  return os.str();
+}
+
+/// Replaces the campaign's state with a NaN-poisoned copy (every recorded
+/// factor becomes non-finite), the injection point for fit-failure tests.
+void PoisonState(serving::CampaignEngine* engine, size_t campaign) {
+  StreamState poisoned = engine->state(campaign);
+  ASSERT_FALSE(poisoned.sf_history.empty())
+      << "poisoning needs at least one advanced day";
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (DenseMatrix& sf : poisoned.sf_history) sf.Fill(nan);
+  for (auto& [user, rows] : poisoned.user_history) {
+    for (std::vector<double>& row : rows) {
+      std::fill(row.begin(), row.end(), nan);
+    }
+  }
+  engine->set_state(campaign, std::move(poisoned));
+}
+
+TEST(CampaignHealthTest, PoisonedCampaignDegradesQuarantinesAndRevives) {
+  // Two campaigns; campaign 0 gets poisoned, campaign 1 must stay
+  // bit-identical to a solo reference run throughout (per-campaign blast
+  // radius).
+  std::vector<Fixture> fixtures;
+  for (uint64_t seed : {5, 6}) fixtures.push_back(MakeFixture(seed));
+
+  serving::CampaignEngine reference;
+  reference.AddCampaign("sibling", FastConfig(), fixtures[1].problem.sf0,
+                        fixtures[1].problem.builder,
+                        &fixtures[1].problem.dataset.corpus);
+
+  serving::CampaignEngine engine;  // quarantine_after_failures = 3 default
+  engine.AddCampaign("victim", FastConfig(), fixtures[0].problem.sf0,
+                     fixtures[0].problem.builder,
+                     &fixtures[0].problem.dataset.corpus);
+  engine.AddCampaign("sibling", FastConfig(), fixtures[1].problem.sf0,
+                     fixtures[1].problem.builder,
+                     &fixtures[1].problem.dataset.corpus);
+
+  const auto ingest_day = [&](size_t day) {
+    engine.Ingest(0, fixtures[0].days[day].tweet_ids, static_cast<int>(day));
+    engine.Ingest(1, fixtures[1].days[day].tweet_ids, static_cast<int>(day));
+    reference.Ingest(0, fixtures[1].days[day].tweet_ids,
+                     static_cast<int>(day));
+  };
+  const auto expect_sibling_matches = [&](size_t day) {
+    const auto expected = reference.Advance();
+    ASSERT_EQ(expected.size(), 1u);
+    const auto reports = engine.Advance();
+    bool sibling_seen = false;
+    for (const auto& report : reports) {
+      if (engine.name(report.campaign) != "sibling") continue;
+      sibling_seen = true;
+      EXPECT_TRUE(report.fitted);
+      ExpectSameFactors(report.result, expected[0].result,
+                        "sibling day " + std::to_string(day));
+    }
+    EXPECT_TRUE(sibling_seen) << "day " << day;
+  };
+
+  // Day 0: both healthy.
+  ingest_day(0);
+  expect_sibling_matches(0);
+  EXPECT_EQ(engine.health(0), serving::CampaignHealth::kHealthy);
+  EXPECT_TRUE(engine.HealthReport().AllHealthy());
+
+  // Poison the victim; three consecutive failed fits quarantine it, and
+  // every failure rolls its state back untouched.
+  PoisonState(&engine, 0);
+  const std::string poisoned_bytes = EngineStateBytes(engine, 0);
+  for (int round = 1; round <= 3; ++round) {
+    ingest_day(static_cast<size_t>(round));
+    const auto expected = reference.Advance();
+    ASSERT_EQ(expected.size(), 1u);
+    const auto reports = engine.Advance();
+    bool victim_seen = false;
+    for (const auto& report : reports) {
+      if (engine.name(report.campaign) == "sibling") {
+        ExpectSameFactors(report.result, expected[0].result,
+                          "sibling round " + std::to_string(round));
+        continue;
+      }
+      victim_seen = true;
+      EXPECT_FALSE(report.fitted);
+      EXPECT_EQ(report.status.code(), StatusCode::kFailedPrecondition);
+      EXPECT_NE(report.status.message().find("non-finite"),
+                std::string::npos);
+    }
+    if (round < 3) {
+      EXPECT_TRUE(victim_seen);
+      EXPECT_EQ(engine.health(0), serving::CampaignHealth::kDegraded);
+    } else {
+      EXPECT_EQ(engine.health(0), serving::CampaignHealth::kQuarantined);
+    }
+    // Rollback: the failed fit never advanced the victim's state.
+    EXPECT_EQ(EngineStateBytes(engine, 0), poisoned_bytes)
+        << "round " << round;
+    EXPECT_EQ(engine.last_error(0).code(), StatusCode::kFailedPrecondition);
+  }
+
+  const serving::EngineHealthReport mid = engine.HealthReport();
+  EXPECT_EQ(mid.healthy, 1u);
+  EXPECT_EQ(mid.quarantined, 1u);
+  EXPECT_EQ(mid.campaigns[0].consecutive_failures, 3);
+  EXPECT_FALSE(mid.campaigns[0].last_error.ok());
+  EXPECT_FALSE(mid.AllHealthy());
+
+  // Quarantined: Advance() skips the victim entirely; its queue grows.
+  ingest_day(4);
+  expect_sibling_matches(4);
+  EXPECT_GT(engine.num_pending(0), 0u);
+  EXPECT_EQ(engine.timestep(0), 1);  // never advanced past day 0
+
+  // Recovery: replace the poisoned state with a clean one and revive. The
+  // accumulated queue fits on the next Advance and health returns to
+  // kHealthy (last_error stays on record).
+  StreamState clean;
+  {
+    // Rebuild the victim's day-0 state via a standalone clusterer.
+    OnlineTriClusterer rebuild(FastConfig(), fixtures[0].problem.sf0);
+    rebuild.ProcessSnapshot(fixtures[0].problem.builder.Build(
+        fixtures[0].problem.dataset.corpus, fixtures[0].days[0].tweet_ids,
+        0));
+    clean = rebuild.state();
+  }
+  engine.set_state(0, std::move(clean));
+  engine.ReviveCampaign(0);
+  EXPECT_EQ(engine.health(0), serving::CampaignHealth::kHealthy);
+  EXPECT_FALSE(engine.last_error(0).ok());  // kept for the record
+
+  ingest_day(5);
+  const auto reports = engine.Advance();
+  bool victim_fitted = false;
+  for (const auto& report : reports) {
+    if (engine.name(report.campaign) != "sibling") {
+      victim_fitted = report.fitted;
+      EXPECT_TRUE(report.status.ok()) << report.status.ToString();
+    }
+  }
+  EXPECT_TRUE(victim_fitted);
+  EXPECT_EQ(engine.health(0), serving::CampaignHealth::kHealthy);
+  EXPECT_EQ(engine.HealthReport().campaigns[0].consecutive_failures, 0);
+}
+
+TEST(CampaignHealthTest, QuarantineDisabledKeepsRetryingDegraded) {
+  Fixture f = MakeFixture(5);
+  serving::CampaignEngine::Options options;
+  options.quarantine_after_failures = 0;  // never quarantine
+  serving::CampaignEngine engine(options);
+  engine.AddCampaign("c0", FastConfig(), f.problem.sf0, f.problem.builder,
+                     &f.problem.dataset.corpus);
+  engine.Ingest(0, f.days[0].tweet_ids, 0);
+  engine.Advance();
+  PoisonState(&engine, 0);
+
+  for (int round = 0; round < 5; ++round) {
+    engine.Ingest(0, f.days[1].tweet_ids, 1);
+    const auto reports = engine.Advance();
+    ASSERT_EQ(reports.size(), 1u);  // still scheduled every time
+    EXPECT_FALSE(reports[0].fitted);
+    EXPECT_EQ(engine.health(0), serving::CampaignHealth::kDegraded);
+  }
+  EXPECT_EQ(engine.HealthReport().campaigns[0].consecutive_failures, 5);
+}
+
+TEST(CampaignHealthTest, ManualQuarantineSkipsAdvanceUntilRevived) {
+  Fixture f = MakeFixture(5);
+  serving::CampaignEngine engine;
+  engine.AddCampaign("c0", FastConfig(), f.problem.sf0, f.problem.builder,
+                     &f.problem.dataset.corpus);
+  engine.QuarantineCampaign(0, Status::Internal("operator pulled it"));
+  EXPECT_EQ(engine.health(0), serving::CampaignHealth::kQuarantined);
+  EXPECT_EQ(engine.last_error(0).code(), StatusCode::kInternal);
+
+  engine.Ingest(0, f.days[0].tweet_ids, 0);
+  EXPECT_TRUE(engine.Advance().empty());
+  EXPECT_EQ(engine.num_pending(0), f.days[0].tweet_ids.size());
+
+  engine.ReviveCampaign(0);
+  const auto reports = engine.Advance();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].fitted);
+  EXPECT_EQ(engine.timestep(0), 1);
 }
 
 }  // namespace

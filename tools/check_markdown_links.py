@@ -4,7 +4,15 @@
 Scans every tracked *.md file, extracts inline links ``[text](target)``,
 and verifies that each relative target (optionally with a #fragment)
 exists on disk. External schemes (http/https/mailto) and pure-fragment
-links are skipped. Used by the CI docs job; run locally as
+links are skipped.
+
+Additionally guards docs/FORMATS.md as the normative format spec: the
+file must keep specifying the checkpoint integrity trailer (the
+``triclust-crc32`` line format 2 stores depend on) — code references
+"FORMATS.md §4" and an edit that drops the section would orphan them
+silently.
+
+Used by the CI docs job; run locally as
 ``python3 tools/check_markdown_links.py`` from anywhere in the repo.
 """
 
@@ -35,9 +43,37 @@ def markdown_files(root: str):
     return sorted({line for line in out.stdout.splitlines() if line})
 
 
+# docs/FORMATS.md must keep specifying the integrity trailer; each entry
+# is (required substring, what its absence means).
+FORMATS_SPEC = "docs/FORMATS.md"
+FORMATS_REQUIRED = (
+    ("## 4. Integrity trailer",
+     "the integrity-trailer section (referenced by code as §4) is gone"),
+    ("triclust-crc32",
+     "the trailer tag the store writes is no longer documented"),
+    ("CRC-32",
+     "the checksum algorithm is no longer named"),
+    ("triclust-campaign-store 2",
+     "the checksummed manifest format 2 is no longer documented"),
+)
+
+
+def check_formats_spec(root: str):
+    """Returns problem strings when FORMATS.md lost the trailer spec."""
+    path = os.path.join(root, FORMATS_SPEC)
+    if not os.path.exists(path):
+        return [f"{FORMATS_SPEC}: missing (normative format spec)"]
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    return [
+        f"{FORMATS_SPEC}: missing required text {token!r} ({why})"
+        for token, why in FORMATS_REQUIRED if token not in text
+    ]
+
+
 def main() -> int:
     root = repo_root()
-    broken = []
+    broken = check_formats_spec(root)
     for md in markdown_files(root):
         md_path = os.path.join(root, md)
         # Link syntax is ASCII; don't let a stray non-UTF-8 byte elsewhere
@@ -59,9 +95,10 @@ def main() -> int:
     for entry in broken:
         print(entry)
     if broken:
-        print(f"{len(broken)} broken relative link(s)")
+        print(f"{len(broken)} doc problem(s)")
         return 1
-    print("all relative markdown links resolve")
+    print("all relative markdown links resolve; "
+          "FORMATS.md trailer spec present")
     return 0
 
 
