@@ -8,6 +8,7 @@
 
 #include "src/core/updates.h"
 #include "src/data/synthetic.h"
+#include "src/matrix/kernel_dispatch.h"
 #include "src/matrix/ops.h"
 #include "src/text/tokenizer.h"
 #include "src/text/vectorizer.h"
@@ -174,6 +175,112 @@ void BM_OfflineIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_OfflineIteration)->Apply([](benchmark::internal::Benchmark* b) {
   ThreadSweep(b, {2000, 10000, 40000});
+});
+
+/// --- kernel-dispatch A/B sweeps -------------------------------------------
+///
+/// Paper-shape single-core benchmarks over the fixed-k hot kernels
+/// (k ∈ {2, 3, 4} — the paper's sentiment clustering runs k = 3). Their
+/// names carry no dispatch mode on purpose: the A/B protocol is to run the
+/// binary twice with --benchmark_format=json, once under
+/// TRICLUST_FORCE_SCALAR=1 and once dispatched, and diff the two artifacts
+/// with tools/bench_compare.py (names must line up across the runs).
+/// nnz/element counters are emitted so the JSON is self-describing.
+
+void BM_SpMMPaperShape(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const ScopedNumThreads threads(1);
+  // Prop 30 scale: ~50k tweets × 5k vocabulary, ~12 terms per tweet.
+  const SparseMatrix x = MakeSparse(50000, 5000, 12, 21);
+  Rng rng(22);
+  const DenseMatrix d = DenseMatrix::Random(5000, k, &rng, 0.0, 1.0);
+  DenseMatrix c;
+  for (auto _ : state) {
+    SpMMInto(x, d, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["nnz"] = static_cast<double>(x.nnz());
+  state.counters["k"] = static_cast<double>(k);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.nnz()));
+}
+BENCHMARK(BM_SpMMPaperShape)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_MatMulAtBPaperShape(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const ScopedNumThreads threads(1);
+  Rng rng(23);
+  const DenseMatrix s = DenseMatrix::Random(100000, k, &rng, 0.0, 1.0);
+  DenseMatrix c;
+  for (auto _ : state) {
+    MatMulAtBInto(s, s, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["rows"] = static_cast<double>(s.rows());
+  state.counters["k"] = static_cast<double>(k);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s.rows()));
+}
+BENCHMARK(BM_MatMulAtBPaperShape)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_MulUpdatePaperShape(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const ScopedNumThreads threads(1);
+  Rng rng(24);
+  DenseMatrix m = DenseMatrix::Random(100000, k, &rng, 0.1, 1.0);
+  const DenseMatrix numer = DenseMatrix::Random(100000, k, &rng, 0.0, 1.0);
+  const DenseMatrix denom = DenseMatrix::Random(100000, k, &rng, 0.0, 1.0);
+  for (auto _ : state) {
+    MultiplicativeUpdateInPlace(&m, numer, denom, 1e-12);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.counters["elements"] = static_cast<double>(m.size());
+  state.counters["k"] = static_cast<double>(k);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(m.size()));
+}
+BENCHMARK(BM_MulUpdatePaperShape)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_FactorizationLossPaperShape(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const ScopedNumThreads threads(1);
+  const SparseMatrix x = MakeSparse(50000, 5000, 12, 25);
+  Rng rng(26);
+  const DenseMatrix u = DenseMatrix::Random(50000, k, &rng, 0.0, 1.0);
+  const DenseMatrix v = DenseMatrix::Random(5000, k, &rng, 0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FactorizationLossSquared(x, u, v));
+  }
+  state.counters["nnz"] = static_cast<double>(x.nnz());
+  state.counters["k"] = static_cast<double>(k);
+}
+BENCHMARK(BM_FactorizationLossPaperShape)->Arg(2)->Arg(3)->Arg(4);
+
+/// In-process dispatch-variant sweep (no env round-trips): arg0 = k,
+/// arg1 = KernelMode (0 auto, 1 scalar, 2 fast), installed thread-local for
+/// the run. Under TRICLUST_FORCE_SCALAR=1 all variants collapse to scalar —
+/// use the env-based A/B above for gating numbers.
+void BM_SpMMDispatchSweep(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const ScopedKernelMode mode(static_cast<KernelMode>(state.range(1)));
+  const ScopedNumThreads threads(1);
+  const SparseMatrix x = MakeSparse(50000, 5000, 12, 27);
+  Rng rng(28);
+  const DenseMatrix d = DenseMatrix::Random(5000, k, &rng, 0.0, 1.0);
+  DenseMatrix c;
+  for (auto _ : state) {
+    SpMMInto(x, d, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.nnz()));
+}
+BENCHMARK(BM_SpMMDispatchSweep)->Apply([](benchmark::internal::Benchmark* b) {
+  for (const int64_t k : {2, 3, 4, 7}) {
+    for (const int64_t mode : {0, 1, 2}) {
+      b->Args({k, mode});
+    }
+  }
 });
 
 void BM_Tokenize(benchmark::State& state) {

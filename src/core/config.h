@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "src/matrix/kernel_dispatch.h"
+
 namespace triclust {
 
 /// How the factor matrices are initialized before the multiplicative loop.
@@ -45,6 +47,15 @@ struct TriClusterConfig {
   /// may each use a different value (CampaignEngine relies on this to
   /// split its pool across campaigns).
   int num_threads = 1;
+  /// Kernel body selection for this fit (src/matrix/kernel_dispatch.h).
+  /// kAuto keeps the bit-identical tiers (fixed-k unrolls + bit-exact
+  /// AVX2), so defaults reproduce the historical scalar bits exactly;
+  /// kScalar pins the generic reference loops; kFast opts into FMA /
+  /// lane-split reductions that match only within rounding tolerance.
+  /// The clusterers install it as a thread-local ScopedKernelMode next to
+  /// the thread budget, so concurrent fits may differ. TRICLUST_FORCE_SCALAR
+  /// in the environment overrides every fit to kScalar.
+  KernelMode kernel_mode = KernelMode::kAuto;
   /// Seed of the factor initialization.
   uint64_t seed = 7;
   InitStrategy init = InitStrategy::kLexiconSeeded;

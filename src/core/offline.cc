@@ -73,6 +73,7 @@ TriClusterResult OfflineTriClusterer::Run(const DatasetMatrices& data,
   // budgets coexist), and one workspace amortizes the data-matrix
   // transposes plus all update scratch across iterations.
   ScopedThreadBudget thread_scope(ThreadBudget(config_.num_threads));
+  ScopedKernelMode kernel_scope(config_.kernel_mode);
   update::UpdateWorkspace workspace;
 
   FactorSet f = InitializeFactors(data, sf0, config_);

@@ -79,6 +79,10 @@ TriClusterResult SnapshotSolver::Solve(const DatasetMatrices& data,
   // the caller's width. Thread-local, so concurrent Solve() calls with
   // different budgets never interfere.
   ScopedThreadBudget fit_budget(workspace->budget);
+  // Same scoping for the kernel-body selection (kernel_dispatch.h): pool
+  // workers execute whatever this thread selects, so installing it here
+  // covers every kernel of the fit.
+  ScopedKernelMode fit_kernels(config_.base.kernel_mode);
 
   const DenseMatrix sfw = ComputeSfw(*state);
 

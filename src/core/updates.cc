@@ -64,6 +64,9 @@ void UpdateSf(const SparseMatrix& xp, const SparseMatrix& xu,
   TRICLUST_CHECK(sf != nullptr);
   UpdateWorkspace local;
   UpdateWorkspace& ws = workspace != nullptr ? *workspace : local;
+  // With a workspace, every Xᵀ·D must ride the cached transpose; reaching
+  // the serial SpTMM scatter under this scope is a loud failure.
+  internal::ScopedForbidSpTMMScatter forbid_scatter(workspace != nullptr);
   const size_t l = sf->rows();
   const size_t k = sf->cols();
   TRICLUST_CHECK_EQ(xp.cols(), l);
@@ -124,6 +127,9 @@ void UpdateSp(const SparseMatrix& xp, const SparseMatrix& xr,
   TRICLUST_CHECK(sp != nullptr);
   UpdateWorkspace local;
   UpdateWorkspace& ws = workspace != nullptr ? *workspace : local;
+  // With a workspace, every Xᵀ·D must ride the cached transpose; reaching
+  // the serial SpTMM scatter under this scope is a loud failure.
+  internal::ScopedForbidSpTMMScatter forbid_scatter(workspace != nullptr);
   const size_t n = sp->rows();
   TRICLUST_CHECK_EQ(xp.rows(), n);
   TRICLUST_CHECK_EQ(xr.cols(), n);
@@ -191,6 +197,9 @@ void UpdateSu(const SparseMatrix& xu, const SparseMatrix& xr,
   TRICLUST_CHECK(su != nullptr);
   UpdateWorkspace local;
   UpdateWorkspace& ws = workspace != nullptr ? *workspace : local;
+  // With a workspace, every Xᵀ·D must ride the cached transpose; reaching
+  // the serial SpTMM scatter under this scope is a loud failure.
+  internal::ScopedForbidSpTMMScatter forbid_scatter(workspace != nullptr);
   const size_t m = su->rows();
   TRICLUST_CHECK_EQ(xu.rows(), m);
   TRICLUST_CHECK_EQ(xr.rows(), m);
@@ -265,6 +274,9 @@ void UpdateHp(const SparseMatrix& xp, const DenseMatrix& sp,
   TRICLUST_CHECK(hp != nullptr);
   UpdateWorkspace local;
   UpdateWorkspace& ws = workspace != nullptr ? *workspace : local;
+  // With a workspace, every Xᵀ·D must ride the cached transpose; reaching
+  // the serial SpTMM scatter under this scope is a loud failure.
+  internal::ScopedForbidSpTMMScatter forbid_scatter(workspace != nullptr);
   SpMMInto(xp, sf, &ws.rows_a);
   MatMulAtBInto(sp, ws.rows_a, &ws.numer);  // SpᵀXpSf
   MatMulAtBInto(sp, sp, &ws.kk_a);
@@ -280,6 +292,9 @@ void UpdateHu(const SparseMatrix& xu, const DenseMatrix& su,
   TRICLUST_CHECK(hu != nullptr);
   UpdateWorkspace local;
   UpdateWorkspace& ws = workspace != nullptr ? *workspace : local;
+  // With a workspace, every Xᵀ·D must ride the cached transpose; reaching
+  // the serial SpTMM scatter under this scope is a loud failure.
+  internal::ScopedForbidSpTMMScatter forbid_scatter(workspace != nullptr);
   SpMMInto(xu, sf, &ws.rows_a);
   MatMulAtBInto(su, ws.rows_a, &ws.numer);  // SuᵀXuSf
   MatMulAtBInto(su, su, &ws.kk_a);

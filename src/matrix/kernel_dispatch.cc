@@ -1,0 +1,225 @@
+#include "src/matrix/kernel_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/matrix/kernels.h"
+
+namespace triclust {
+namespace {
+
+std::atomic<int> g_default_mode{static_cast<int>(KernelMode::kAuto)};
+
+/// -1 = no scope installed on this thread; otherwise a KernelMode value.
+thread_local int tls_mode = -1;
+
+/// -1 = unprobed; 0/1 = cached TRICLUST_FORCE_SCALAR verdict.
+std::atomic<int> g_force_scalar{-1};
+
+bool ProbeForceScalar() {
+  const char* value = std::getenv("TRICLUST_FORCE_SCALAR");
+  return value != nullptr && value[0] != '\0' &&
+         std::strcmp(value, "0") != 0;
+}
+
+}  // namespace
+
+void SetKernelMode(KernelMode mode) {
+  g_default_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+KernelMode GetKernelMode() {
+  return static_cast<KernelMode>(
+      g_default_mode.load(std::memory_order_relaxed));
+}
+
+bool ForceScalarActive() {
+  int cached = g_force_scalar.load(std::memory_order_relaxed);
+  if (cached < 0) {
+    cached = ProbeForceScalar() ? 1 : 0;
+    g_force_scalar.store(cached, std::memory_order_relaxed);
+  }
+  return cached != 0;
+}
+
+KernelMode ActiveKernelMode() {
+  if (ForceScalarActive()) return KernelMode::kScalar;
+  if (tls_mode >= 0) return static_cast<KernelMode>(tls_mode);
+  return GetKernelMode();
+}
+
+bool CpuSupportsAvx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+bool CpuSupportsFma() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  static const bool supported = __builtin_cpu_supports("fma");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+bool Avx2KernelsCompiled() { return kernels::Avx2KernelsCompiled(); }
+
+KernelDispatch ActiveDispatch() {
+  KernelDispatch d;
+  const KernelMode mode = ActiveKernelMode();
+  if (mode == KernelMode::kScalar) return d;
+  d.fixed_k = true;
+  d.avx2 = CpuSupportsAvx2() && Avx2KernelsCompiled();
+  d.fast = mode == KernelMode::kFast && d.avx2 && CpuSupportsFma();
+  return d;
+}
+
+ScopedKernelMode::ScopedKernelMode(KernelMode mode) : previous_(tls_mode) {
+  tls_mode = static_cast<int>(mode);
+}
+
+ScopedKernelMode::~ScopedKernelMode() { tls_mode = previous_; }
+
+namespace internal {
+void ReprobeKernelEnvForTesting() {
+  g_force_scalar.store(-1, std::memory_order_relaxed);
+}
+}  // namespace internal
+
+namespace kernels {
+
+/// Selection order within a family: fast (when the mode opted in) beats
+/// the bit-identical AVX2 body beats the fixed-k unroll beats the generic
+/// reference. Every Select* must stay safe for arbitrary shapes — unknown
+/// k always lands on a generic (or shape-agnostic vector) body.
+
+SpMMRowsFn SelectSpMMRows(size_t k) {
+  const KernelDispatch d = ActiveDispatch();
+  switch (k) {
+    case 2:
+      if (d.avx2) return Avx2SpMMRowsK2;
+      if (d.fixed_k) return SpMMRowsK2;
+      break;
+    case 3:
+      if (d.avx2) return Avx2SpMMRowsK3;
+      if (d.fixed_k) return SpMMRowsK3;
+      break;
+    case 4:
+      if (d.fast) return FastSpMMRowsK4;
+      if (d.avx2) return Avx2SpMMRowsK4;
+      if (d.fixed_k) return SpMMRowsK4;
+      break;
+    default:
+      if (d.avx2 && k > 4) return Avx2SpMMRowsWide;
+      break;
+  }
+  return GenericSpMMRows;
+}
+
+AtBAccumulateFn SelectAtBAccumulate(size_t ka, size_t kb) {
+  const KernelDispatch d = ActiveDispatch();
+  if (ka == kb) {
+    switch (ka) {
+      case 2:
+        if (d.avx2) return Avx2AtBAccumulateK2;
+        if (d.fixed_k) return AtBAccumulateK2;
+        break;
+      case 3:
+        if (d.avx2) return Avx2AtBAccumulateK3;
+        if (d.fixed_k) return AtBAccumulateK3;
+        break;
+      case 4:
+        if (d.fast) return FastAtBAccumulateK4;
+        if (d.avx2) return Avx2AtBAccumulateK4;
+        if (d.fixed_k) return AtBAccumulateK4;
+        break;
+      default:
+        break;
+    }
+  }
+  if (d.avx2 && kb > 4) return Avx2AtBAccumulateWide;
+  return GenericAtBAccumulate;
+}
+
+MatMulRowsFn SelectMatMulRows(size_t p_dim, size_t n) {
+  const KernelDispatch d = ActiveDispatch();
+  if (p_dim == n) {
+    switch (p_dim) {
+      case 2:
+        if (d.fixed_k) return MatMulRowsK2;
+        break;
+      case 3:
+        if (d.fixed_k) return MatMulRowsK3;
+        break;
+      case 4:
+        if (d.fixed_k) return MatMulRowsK4;
+        break;
+      default:
+        break;
+    }
+  }
+  // Large dense panels: L2 blocking (bit-identical; gated behind fixed_k
+  // so kScalar remains the untouched historical loop).
+  if (d.fixed_k && p_dim >= 64 && n >= 64) return BlockedMatMulRows;
+  return GenericMatMulRows;
+}
+
+ABtRowsFn SelectABtRows(size_t p_dim) {
+  const KernelDispatch d = ActiveDispatch();
+  switch (p_dim) {
+    case 2:
+      if (d.fixed_k) return ABtRowsK2;
+      break;
+    case 3:
+      if (d.fixed_k) return ABtRowsK3;
+      break;
+    case 4:
+      if (d.fixed_k) return ABtRowsK4;
+      break;
+    default:
+      break;
+  }
+  return GenericABtRows;
+}
+
+MulUpdateRangeFn SelectMulUpdateRange() {
+  return ActiveDispatch().avx2 ? Avx2MulUpdateRange : GenericMulUpdateRange;
+}
+
+DotRangeFn SelectDotRange() {
+  return ActiveDispatch().fast ? FastDotRange : GenericDotRange;
+}
+
+DiffSquaredRangeFn SelectDiffSquaredRange() {
+  return ActiveDispatch().fast ? FastDiffSquaredRange
+                               : GenericDiffSquaredRange;
+}
+
+SpCrossRowsFn SelectSpCrossRows(size_t k) {
+  const KernelDispatch d = ActiveDispatch();
+  switch (k) {
+    case 2:
+      if (d.fixed_k) return SpCrossRowsK2;
+      break;
+    case 3:
+      if (d.fixed_k) return SpCrossRowsK3;
+      break;
+    case 4:
+      if (d.fast) return FastSpCrossRowsK4;
+      if (d.fixed_k) return SpCrossRowsK4;
+      break;
+    default:
+      break;
+  }
+  return GenericSpCrossRows;
+}
+
+}  // namespace kernels
+}  // namespace triclust

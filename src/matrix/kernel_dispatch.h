@@ -1,0 +1,111 @@
+#ifndef TRICLUST_SRC_MATRIX_KERNEL_DISPATCH_H_
+#define TRICLUST_SRC_MATRIX_KERNEL_DISPATCH_H_
+
+namespace triclust {
+
+/// Runtime kernel-specialization policy for the matrix kernels of
+/// src/matrix/ops.h.
+///
+/// Every kernel keeps the generic double-loop of ops.cc as its reference
+/// implementation (the bitwise reproducibility oracle of the whole repo —
+/// see docs/ARCHITECTURE.md "Kernel dispatch"). On top of it, ops.cc may
+/// select specialized bodies for the hot shapes of the paper (k = 2–4
+/// cluster columns) and for the CPU at hand:
+///
+///  - fixed-k bodies: fully unrolled loops with the k-wide (or k×k)
+///    accumulator held in registers. Same multiply/add sequence per output
+///    element as the generic loop, therefore BIT-IDENTICAL to it.
+///  - AVX2 bodies: element-parallel vector code where each output element
+///    still sees the exact scalar operation sequence (independent lanes,
+///    separate mul + add — never FMA — and IEEE per-lane max/div/sqrt), so
+///    they are BIT-IDENTICAL to the generic loop as well.
+///  - fast bodies: FMA contractions and vector-lane-split reductions that
+///    reassociate floating-point sums. NOT bit-identical — equivalent to
+///    the reference only within documented tolerance (see
+///    tests/kernel_dispatch_test.cc) — and therefore strictly opt-in.
+///
+/// KernelMode picks which tiers a kernel call may use. The default, kAuto,
+/// enables only the bit-identical tiers, so results are indistinguishable
+/// from the historical generic loops at every thread width — the serving
+/// and replay bitwise self-checks hold with no configuration.
+enum class KernelMode {
+  /// Fixed-k + bit-identical AVX2 specializations (the default). Results
+  /// are bit-for-bit those of kScalar.
+  kAuto = 0,
+  /// Generic reference loops only — the oracle the equivalence tests pin
+  /// every other tier against.
+  kScalar = 1,
+  /// Everything in kAuto plus the tolerance-only fast bodies (FMA,
+  /// vector-lane reductions). Opt-in: changes low-order bits of reductions
+  /// and k=4 products, documented in the equivalence suite.
+  kFast = 2,
+};
+
+/// The tiers a kernel call may actually use, after resolving the mode
+/// against the CPU probe and the TRICLUST_FORCE_SCALAR override. Field
+/// implications: avx2 or fast set ⇒ fixed_k set; fast set ⇒ avx2 set.
+struct KernelDispatch {
+  /// Unrolled fixed-k scalar bodies (bit-identical).
+  bool fixed_k = false;
+  /// Bit-identical AVX2 element-parallel bodies (requires an AVX2 CPU and
+  /// an AVX2-compiled kernel TU).
+  bool avx2 = false;
+  /// Tolerance-only FMA / lane-split bodies (requires kFast + AVX2 + FMA).
+  bool fast = false;
+};
+
+/// Sets the process-wide default mode used by threads with no installed
+/// scope. Atomic store, callable from any thread. Default: kAuto.
+void SetKernelMode(KernelMode mode);
+KernelMode GetKernelMode();
+
+/// The mode the next kernel call on this thread resolves to:
+///   1. kScalar when the TRICLUST_FORCE_SCALAR environment variable is set
+///      to anything but "0" (probed once per process; the CI fallback leg
+///      and "reproduce exactly anywhere" escape hatch — trumps everything);
+///   2. otherwise the innermost ScopedKernelMode on this thread, if any;
+///   3. otherwise the process-wide default.
+KernelMode ActiveKernelMode();
+
+/// ActiveKernelMode() intersected with the CPU capability probe — what a
+/// kernel selection actually uses. Cheap (two atomic loads + a TLS read);
+/// ops.cc calls it once per kernel invocation, on the calling thread, so
+/// pool workers inherit the fit thread's decision.
+KernelDispatch ActiveDispatch();
+
+/// CPU capability probes (cached after the first call).
+bool CpuSupportsAvx2();
+bool CpuSupportsFma();
+
+/// True when the AVX2 kernel TU was actually compiled with AVX2 (false on
+/// non-x86 targets, where its symbols forward to the generic bodies).
+bool Avx2KernelsCompiled();
+
+/// True when TRICLUST_FORCE_SCALAR pins every kernel to the generic path.
+bool ForceScalarActive();
+
+/// RAII: installs `mode` as the calling thread's kernel mode for the
+/// scope's lifetime (innermost wins, previous state restored on
+/// destruction). THREAD-LOCAL, mirroring ScopedThreadBudget: concurrent
+/// fits with different kernel modes never interfere. The solvers install
+/// TriClusterConfig::kernel_mode for the duration of each fit.
+class ScopedKernelMode {
+ public:
+  explicit ScopedKernelMode(KernelMode mode);
+  ~ScopedKernelMode();
+  ScopedKernelMode(const ScopedKernelMode&) = delete;
+  ScopedKernelMode& operator=(const ScopedKernelMode&) = delete;
+
+ private:
+  int previous_;
+};
+
+namespace internal {
+/// Re-reads TRICLUST_FORCE_SCALAR (tests flip it mid-process; production
+/// code treats the probe as process-constant).
+void ReprobeKernelEnvForTesting();
+}  // namespace internal
+
+}  // namespace triclust
+
+#endif  // TRICLUST_SRC_MATRIX_KERNEL_DISPATCH_H_

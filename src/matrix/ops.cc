@@ -1,9 +1,13 @@
 #include "src/matrix/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <vector>
 
+#include "src/matrix/kernel_dispatch.h"
+#include "src/matrix/kernels.h"
+#include "src/util/logging.h"
 #include "src/util/parallel.h"
 
 namespace triclust {
@@ -15,28 +19,50 @@ namespace {
 /// bit-identical either way, so this is purely a scheduling threshold.
 constexpr size_t kMinRowsToParallelize = 32;
 
+std::atomic<uint64_t> g_sptmm_scatter_calls{0};
+
+/// > 0 while a ScopedForbidSpTMMScatter is alive on this thread.
+thread_local int tls_forbid_sptmm_scatter = 0;
+
 }  // namespace
+
+namespace internal {
+
+uint64_t SpTMMScatterCalls() {
+  return g_sptmm_scatter_calls.load(std::memory_order_relaxed);
+}
+
+ScopedForbidSpTMMScatter::ScopedForbidSpTMMScatter(bool enable)
+    : enabled_(enable) {
+  if (enabled_) ++tls_forbid_sptmm_scatter;
+}
+
+ScopedForbidSpTMMScatter::~ScopedForbidSpTMMScatter() {
+  if (enabled_) --tls_forbid_sptmm_scatter;
+}
+
+}  // namespace internal
+
+/// The dense/sparse products below all share one structure: ops.cc keeps
+/// the shape checks, output sizing, and the parallel decomposition
+/// (unchanged from the pre-dispatch code, so the bit-identical-at-every-
+/// width contract of parallel.h is untouched), and the per-range body is
+/// selected once per call from src/matrix/kernels.h — generic reference,
+/// fixed-k unroll, or AVX2, per the active KernelMode (kernel_dispatch.h).
+/// Selection happens here on the calling thread, so pool workers always
+/// execute the fit thread's decision.
 
 void MatMulInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c) {
   TRICLUST_CHECK(c != nullptr);
   TRICLUST_CHECK_EQ(a.cols(), b.rows());
   c->Resize(a.rows(), b.cols());
+  const kernels::MatMulRowsFn body =
+      kernels::SelectMatMulRows(a.cols(), b.cols());
   ParallelFor(0, a.rows(), kMinRowsToParallelize,
               [&](size_t row_begin, size_t row_end) {
-    for (size_t i = row_begin; i < row_end; ++i) {
-      const double* arow = a.Row(i);
-      double* crow = c->Row(i);
-      for (size_t j = 0; j < b.cols(); ++j) crow[j] = 0.0;
-      for (size_t p = 0; p < a.cols(); ++p) {
-        const double av = arow[p];
-        if (av == 0.0) continue;
-        const double* brow = b.Row(p);
-        for (size_t j = 0; j < b.cols(); ++j) {
-          crow[j] += av * brow[j];
-        }
-      }
-    }
-  });
+                body(a.data(), a.cols(), b.data(), b.cols(), c->data(),
+                     row_begin, row_end);
+              });
 }
 
 DenseMatrix MatMul(const DenseMatrix& a, const DenseMatrix& b) {
@@ -52,26 +78,12 @@ void MatMulAtBInto(const DenseMatrix& a, const DenseMatrix& b,
   c->Resize(a.cols(), b.cols());
   const size_t out_size = c->size();
   const size_t rows = a.rows();
-
-  // Accumulates rows [p_begin, p_end) of AᵀB into `out`.
-  auto accumulate = [&](size_t p_begin, size_t p_end, double* out) {
-    for (size_t p = p_begin; p < p_end; ++p) {
-      const double* arow = a.Row(p);
-      const double* brow = b.Row(p);
-      for (size_t i = 0; i < a.cols(); ++i) {
-        const double av = arow[i];
-        if (av == 0.0) continue;
-        double* orow = out + i * b.cols();
-        for (size_t j = 0; j < b.cols(); ++j) {
-          orow[j] += av * brow[j];
-        }
-      }
-    }
-  };
+  const kernels::AtBAccumulateFn accumulate =
+      kernels::SelectAtBAccumulate(a.cols(), b.cols());
 
   if (rows <= kReduceRowGrain) {
     c->Fill(0.0);
-    accumulate(0, rows, c->data());
+    accumulate(a.data(), a.cols(), b.data(), b.cols(), 0, rows, c->data());
     return;
   }
   // Output is a small k×k accumulator shared by every input row, so this is
@@ -94,7 +106,8 @@ void MatMulAtBInto(const DenseMatrix& a, const DenseMatrix& b,
     for (size_t chunk = chunk_begin; chunk < chunk_end; ++chunk) {
       const size_t lo = chunk * kReduceRowGrain;
       const size_t hi = std::min(rows, lo + kReduceRowGrain);
-      accumulate(lo, hi, partials + chunk * out_size);
+      accumulate(a.data(), a.cols(), b.data(), b.cols(), lo, hi,
+                 partials + chunk * out_size);
     }
   });
   c->Fill(0.0);
@@ -116,19 +129,12 @@ void MatMulABtInto(const DenseMatrix& a, const DenseMatrix& b,
   TRICLUST_CHECK(c != nullptr);
   TRICLUST_CHECK_EQ(a.cols(), b.cols());
   c->Resize(a.rows(), b.rows());
+  const kernels::ABtRowsFn body = kernels::SelectABtRows(a.cols());
   ParallelFor(0, a.rows(), kMinRowsToParallelize,
               [&](size_t row_begin, size_t row_end) {
-    for (size_t i = row_begin; i < row_end; ++i) {
-      const double* arow = a.Row(i);
-      double* crow = c->Row(i);
-      for (size_t j = 0; j < b.rows(); ++j) {
-        const double* brow = b.Row(j);
-        double dot = 0.0;
-        for (size_t p = 0; p < a.cols(); ++p) dot += arow[p] * brow[p];
-        crow[j] = dot;
-      }
-    }
-  });
+                body(a.data(), a.cols(), b.data(), b.rows(), c->data(),
+                     row_begin, row_end);
+              });
 }
 
 DenseMatrix MatMulABt(const DenseMatrix& a, const DenseMatrix& b) {
@@ -144,20 +150,12 @@ void SpMMInto(const SparseMatrix& x, const DenseMatrix& d, DenseMatrix* c) {
   const auto& row_ptr = x.row_ptr();
   const auto& col_idx = x.col_idx();
   const auto& values = x.values();
+  const kernels::SpMMRowsFn body = kernels::SelectSpMMRows(d.cols());
   ParallelFor(0, x.rows(), kMinRowsToParallelize,
               [&](size_t row_begin, size_t row_end) {
-    for (size_t i = row_begin; i < row_end; ++i) {
-      double* crow = c->Row(i);
-      for (size_t j = 0; j < d.cols(); ++j) crow[j] = 0.0;
-      for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
-        const double v = values[p];
-        const double* drow = d.Row(col_idx[p]);
-        for (size_t j = 0; j < d.cols(); ++j) {
-          crow[j] += v * drow[j];
-        }
-      }
-    }
-  });
+                body(row_ptr.data(), col_idx.data(), values.data(), d.data(),
+                     d.cols(), c->data(), row_begin, row_end);
+              });
 }
 
 DenseMatrix SpMM(const SparseMatrix& x, const DenseMatrix& d) {
@@ -169,6 +167,13 @@ DenseMatrix SpMM(const SparseMatrix& x, const DenseMatrix& d) {
 void SpTMMInto(const SparseMatrix& x, const DenseMatrix& d, DenseMatrix* c) {
   TRICLUST_CHECK(c != nullptr);
   TRICLUST_CHECK_EQ(x.rows(), d.rows());
+  // Scatter canary: the update rules replace this serial scatter with the
+  // parallel SpMM over a cached transpose whenever they hold a workspace,
+  // and guard that hot path with ScopedForbidSpTMMScatter — reaching here
+  // under the guard is a performance regression, not a correctness one, so
+  // it trips loudly.
+  g_sptmm_scatter_calls.fetch_add(1, std::memory_order_relaxed);
+  TRICLUST_CHECK(tls_forbid_sptmm_scatter == 0);
   c->Resize(x.cols(), d.cols());
   c->Fill(0.0);
   const auto& row_ptr = x.row_ptr();
@@ -194,13 +199,10 @@ DenseMatrix SpTMM(const SparseMatrix& x, const DenseMatrix& d) {
 
 double FrobeniusNormSquared(const DenseMatrix& d) {
   const double* p = d.data();
+  const kernels::DotRangeFn body = kernels::SelectDotRange();
   return ParallelReduce(0, d.size(), kReduceFlatGrain,
-                        [p](size_t begin, size_t end) {
-                          double total = 0.0;
-                          for (size_t i = begin; i < end; ++i) {
-                            total += p[i] * p[i];
-                          }
-                          return total;
+                        [p, body](size_t begin, size_t end) {
+                          return body(p, p, begin, end);
                         });
 }
 
@@ -209,14 +211,10 @@ double FrobeniusDistanceSquared(const DenseMatrix& a, const DenseMatrix& b) {
   TRICLUST_CHECK_EQ(a.cols(), b.cols());
   const double* pa = a.data();
   const double* pb = b.data();
+  const kernels::DiffSquaredRangeFn body = kernels::SelectDiffSquaredRange();
   return ParallelReduce(0, a.size(), kReduceFlatGrain,
-                        [pa, pb](size_t begin, size_t end) {
-                          double total = 0.0;
-                          for (size_t i = begin; i < end; ++i) {
-                            const double diff = pa[i] - pb[i];
-                            total += diff * diff;
-                          }
-                          return total;
+                        [pa, pb, body](size_t begin, size_t end) {
+                          return body(pa, pb, begin, end);
                         });
 }
 
@@ -225,13 +223,10 @@ double TraceAtB(const DenseMatrix& a, const DenseMatrix& b) {
   TRICLUST_CHECK_EQ(a.cols(), b.cols());
   const double* pa = a.data();
   const double* pb = b.data();
+  const kernels::DotRangeFn body = kernels::SelectDotRange();
   return ParallelReduce(0, a.size(), kReduceFlatGrain,
-                        [pa, pb](size_t begin, size_t end) {
-                          double total = 0.0;
-                          for (size_t i = begin; i < end; ++i) {
-                            total += pa[i] * pb[i];
-                          }
-                          return total;
+                        [pa, pb, body](size_t begin, size_t end) {
+                          return body(pa, pb, begin, end);
                         });
 }
 
@@ -245,20 +240,12 @@ double FactorizationLossSquared(const SparseMatrix& x, const DenseMatrix& u,
   const auto& row_ptr = x.row_ptr();
   const auto& col_idx = x.col_idx();
   const auto& values = x.values();
+  const kernels::SpCrossRowsFn cross_body = kernels::SelectSpCrossRows(k);
   // cross = Σ Xᵢⱼ (Uᵢ·Vⱼ), reduced over row ranges of X.
   const double cross = ParallelReduce(
       0, x.rows(), kReduceRowGrain, [&](size_t row_begin, size_t row_end) {
-        double total = 0.0;
-        for (size_t i = row_begin; i < row_end; ++i) {
-          const double* urow = u.Row(i);
-          for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
-            const double* vrow = v.Row(col_idx[p]);
-            double dot = 0.0;
-            for (size_t c = 0; c < k; ++c) dot += urow[c] * vrow[c];
-            total += values[p] * dot;
-          }
-        }
-        return total;
+        return cross_body(row_ptr.data(), col_idx.data(), values.data(),
+                          u.data(), v.data(), k, row_begin, row_end);
       });
 
   const DenseMatrix utu = MatMulAtB(u, u);
@@ -307,19 +294,13 @@ double GraphLaplacianQuadraticForm(const SparseMatrix& g,
   const auto& row_ptr = g.row_ptr();
   const auto& col_idx = g.col_idx();
   const auto& values = g.values();
+  // Same shape as the factorization cross term (u = v = S over G's
+  // sparsity), so it shares that kernel family.
+  const kernels::SpCrossRowsFn cross_body = kernels::SelectSpCrossRows(k);
   const double cross = ParallelReduce(
       0, g.rows(), kReduceRowGrain, [&](size_t row_begin, size_t row_end) {
-        double total = 0.0;
-        for (size_t i = row_begin; i < row_end; ++i) {
-          const double* si = s.Row(i);
-          for (size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
-            const double* sj = s.Row(col_idx[p]);
-            double dot = 0.0;
-            for (size_t c = 0; c < k; ++c) dot += si[c] * sj[c];
-            total += values[p] * dot;
-          }
-        }
-        return total;
+        return cross_body(row_ptr.data(), col_idx.data(), values.data(),
+                          s.data(), s.data(), k, row_begin, row_end);
       });
   return diag - cross;
 }
@@ -334,16 +315,10 @@ void MultiplicativeUpdateInPlace(DenseMatrix* m, const DenseMatrix& numer,
   double* pm = m->data();
   const double* pn = numer.data();
   const double* pd = denom.data();
+  const kernels::MulUpdateRangeFn body = kernels::SelectMulUpdateRange();
   ParallelFor(0, m->size(), kReduceFlatGrain,
-              [pm, pn, pd, eps](size_t begin, size_t end) {
-                for (size_t i = begin; i < end; ++i) {
-                  // Negative intermediate values can only arise from
-                  // floating-point noise (all rule terms are constructed
-                  // non-negative); clamp before the ratio.
-                  const double n = std::max(pn[i], 0.0) + eps;
-                  const double d = std::max(pd[i], 0.0) + eps;
-                  pm[i] *= std::sqrt(n / d);
-                }
+              [pm, pn, pd, eps, body](size_t begin, size_t end) {
+                body(pm, pn, pd, eps, begin, end);
               });
 }
 

@@ -1,6 +1,7 @@
 #ifndef TRICLUST_SRC_MATRIX_OPS_H_
 #define TRICLUST_SRC_MATRIX_OPS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/matrix/dense_matrix.h"
@@ -14,6 +15,12 @@ namespace triclust {
 /// the scalar reductions use fixed-grain chunked partial sums (bit-identical
 /// across thread counts ≥ 2, within rounding of serial otherwise). With a
 /// budget of 1 every kernel runs the exact historical serial loop.
+///
+/// Inner bodies (per row range / reduction chunk) are selected per call
+/// from src/matrix/kernels.h according to the active KernelMode — see
+/// src/matrix/kernel_dispatch.h for the mode semantics and the
+/// bit-exactness contract of each tier. The parallel decomposition above is
+/// mode-independent.
 ///
 /// Each product has two forms: a value-returning convenience wrapper and an
 /// `...Into` variant that writes into a caller-owned matrix, resizing it
@@ -106,6 +113,31 @@ bool IsNonNegative(const DenseMatrix& d);
 
 /// True when every entry is finite.
 bool AllFinite(const DenseMatrix& d);
+
+namespace internal {
+
+/// Process-wide count of SpTMMInto invocations (the serial scatter).
+/// Monotonic; test hook for asserting hot paths route through the cached
+/// transpose instead of the scatter.
+uint64_t SpTMMScatterCalls();
+
+/// While alive (and constructed with enable=true), any SpTMMInto call on
+/// this thread trips a TRICLUST_CHECK. The update rules install it whenever
+/// they hold a workspace, turning an accidental steady-state scatter into a
+/// loud failure instead of a silent serial slowdown.
+class ScopedForbidSpTMMScatter {
+ public:
+  explicit ScopedForbidSpTMMScatter(bool enable);
+  ~ScopedForbidSpTMMScatter();
+  ScopedForbidSpTMMScatter(const ScopedForbidSpTMMScatter&) = delete;
+  ScopedForbidSpTMMScatter& operator=(const ScopedForbidSpTMMScatter&) =
+      delete;
+
+ private:
+  bool enabled_;
+};
+
+}  // namespace internal
 
 }  // namespace triclust
 

@@ -216,5 +216,33 @@ TEST(UpdateRuleEdgeTest, ZeroRegularizationWeightsAccepted) {
   EXPECT_LT(Objective(inst), before);
 }
 
+TEST(UpdateWorkspaceTest, SteadyStateIterationsNeverHitSpTMMScatter) {
+  // With a workspace, every Xᵀ·D in the update rules must ride the cached
+  // transpose (parallel SpMM), never the serial SpTMM scatter — that is the
+  // hot-path contract the rules enforce with ScopedForbidSpTMMScatter (an
+  // accidental scatter would trip a CHECK, not just slow down).
+  Instance inst = MakeInstance(77);
+  update::UpdateWorkspace workspace;
+  const uint64_t scatters_before = internal::SpTMMScatterCalls();
+  for (int iter = 0; iter < 5; ++iter) {
+    update::UpdateSp(inst.xp, inst.xr, inst.sf, inst.hp, inst.su, &inst.sp,
+                     kEps, 0.0, nullptr, nullptr, &workspace);
+    update::UpdateHp(inst.xp, inst.sp, inst.sf, &inst.hp, kEps, &workspace);
+    update::UpdateSu(inst.xu, inst.xr, inst.gu, inst.sf, inst.hu, inst.sp,
+                     inst.beta, nullptr, nullptr, &inst.su, kEps, 0.0,
+                     &workspace);
+    update::UpdateHu(inst.xu, inst.su, inst.sf, &inst.hu, kEps, &workspace);
+    update::UpdateSf(inst.xp, inst.xu, inst.sp, inst.su, inst.hp, inst.hu,
+                     inst.alpha, inst.sf0, &inst.sf, kEps, 0.0, &workspace);
+  }
+  EXPECT_EQ(internal::SpTMMScatterCalls(), scatters_before);
+
+  // Without a workspace the legacy scatter path is still reachable (and
+  // counted) — the canary only bites under the forbid scope.
+  update::UpdateSf(inst.xp, inst.xu, inst.sp, inst.su, inst.hp, inst.hu,
+                   inst.alpha, inst.sf0, &inst.sf, kEps);
+  EXPECT_GT(internal::SpTMMScatterCalls(), scatters_before);
+}
+
 }  // namespace
 }  // namespace triclust

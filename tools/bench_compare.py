@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compares two google-benchmark JSON artifacts and prints a speedup table.
+
+Typical use is an A/B of the kernel-dispatch layer: run
+``bench/bench_kernels`` once under ``TRICLUST_FORCE_SCALAR=1`` and once
+dispatched, each with ``--benchmark_format=json``, then::
+
+    python3 tools/bench_compare.py scalar.json dispatched.json
+
+Every benchmark present in both files is listed with its baseline and
+candidate wall time and the speedup (baseline / candidate, so > 1 means the
+candidate is faster). Benchmarks present in only one file are reported and
+otherwise ignored.
+
+``--fail-above PCT`` turns the script into a regression gate: exit non-zero
+when any shared benchmark REGRESSED by more than PCT percent (candidate
+slower than baseline), printing the offenders. The CI bench-smoke job runs
+it informationally (threshold high enough to only catch pathological
+regressions on shared runners).
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {name: real_time_ns} for the non-aggregate entries."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions)
+        # so repeated runs compare their aggregate-free entries consistently.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        time = float(bench["real_time"])
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            raise ValueError(f"{path}: unknown time_unit {unit!r} for {name}")
+        out[name] = time * scale
+    return out
+
+
+def format_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.3f} us"
+    return f"{ns:.1f} ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Speedup table for two google-benchmark JSON files.")
+    parser.add_argument("baseline", help="baseline JSON (e.g. force-scalar)")
+    parser.add_argument("candidate", help="candidate JSON (e.g. dispatched)")
+    parser.add_argument(
+        "--fail-above", type=float, default=None, metavar="PCT",
+        help="exit 1 when any benchmark regresses by more than PCT percent")
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cand = load_benchmarks(args.candidate)
+
+    shared = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    if not shared:
+        print("error: no benchmarks in common", file=sys.stderr)
+        return 2
+
+    name_width = max(len(name) for name in shared)
+    print(f"{'benchmark':<{name_width}}  {'baseline':>12}  "
+          f"{'candidate':>12}  {'speedup':>8}")
+    regressions = []
+    log_sum = 0.0
+    for name in shared:
+        speedup = base[name] / cand[name]
+        log_sum += math.log(speedup)
+        marker = ""
+        if args.fail_above is not None:
+            regress_pct = (cand[name] / base[name] - 1.0) * 100.0
+            if regress_pct > args.fail_above:
+                regressions.append((name, regress_pct))
+                marker = "  REGRESSED"
+        print(f"{name:<{name_width}}  {format_ns(base[name]):>12}  "
+              f"{format_ns(cand[name]):>12}  {speedup:>7.2f}x{marker}")
+    geomean = math.exp(log_sum / len(shared))
+    print(f"{'geomean':<{name_width}}  {'':>12}  {'':>12}  {geomean:>7.2f}x")
+
+    for name in only_base:
+        print(f"note: only in baseline: {name}", file=sys.stderr)
+    for name in only_cand:
+        print(f"note: only in candidate: {name}", file=sys.stderr)
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.fail_above:.1f}%:", file=sys.stderr)
+        for name, pct in regressions:
+            print(f"  {name}: +{pct:.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
