@@ -8,11 +8,30 @@
 ///          [--day-interval-ms MS] [--speedup X] [--deadline-ms MS]
 ///          [--max-days D] [--store DIR] [--write-demo path.tsv]
 ///          [--eval-csv path.csv] [--require-metrics] [--no-verify]
+///          [--stream]
+///          [--scenario NAME] [--scenario-scale X] [--methods a,b,c]
+///          [--methods-csv path.csv] [--check-expectations]
 ///
 /// Without --input a demo corpus is generated, written to a TSV, and read
 /// back, so the run always exercises the on-disk loaders end-to-end;
 /// --write-demo keeps that TSV (or, with --input, re-exports the loaded
 /// corpus in the canonical format).
+///
+/// --stream replays through the bounded-memory streaming reader
+/// (ReadTsvStream / TsvStreamReader, src/data/corpus_io.h): two
+/// streaming fit passes plus one replay pass, holding only one day-chunk
+/// of tweet text at a time — then replays the whole-file path over the
+/// same TSV and verifies the factors and accuracy timelines are
+/// bit-identical. Exits non-zero on any mismatch. Pacing/deadline/store
+/// knobs are ignored in this mode.
+///
+/// --scenario runs a named adversarial scenario (src/data/scenario.h;
+/// names via --scenario=list) through the multi-method comparison runner
+/// (src/eval/method_runner.h): the tri-cluster serving path vs the
+/// baseline methods on the same hostile stream. --methods-csv writes the
+/// plot-ready comparison timeline; --check-expectations exits non-zero
+/// when the scenario's machine-readable expectation record is missed
+/// (the CI smoke gate).
 ///
 /// Every run scores the replay with the timeline evaluation harness
 /// (src/eval/timeline_eval.h): per-day tweet-level and user-level
@@ -29,16 +48,21 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/snapshot_solver.h"
 #include "src/data/corpus_io.h"
 #include "src/data/matrix_builder.h"
+#include "src/data/scenario.h"
 #include "src/data/synthetic.h"
+#include "src/eval/method_runner.h"
 #include "src/eval/timeline_eval.h"
 #include "src/serving/campaign_store.h"
 #include "src/serving/replay.h"
@@ -63,6 +87,12 @@ struct CliOptions {
   std::string eval_csv;
   bool require_metrics = false;
   bool verify = true;
+  bool stream = false;
+  std::string scenario;
+  double scenario_scale = 1.0;
+  std::string methods;
+  std::string methods_csv;
+  bool check_expectations = false;
 };
 
 int Fail(const std::string& why) {
@@ -71,7 +101,10 @@ int Fail(const std::string& why) {
                "[--iters I] [--threads N] [--day-interval-ms MS] "
                "[--speedup X] [--deadline-ms MS] [--max-days D] "
                "[--store DIR] [--write-demo path.tsv] "
-               "[--eval-csv path.csv] [--require-metrics] [--no-verify]\n";
+               "[--eval-csv path.csv] [--require-metrics] [--no-verify] "
+               "[--stream] [--scenario NAME] [--scenario-scale X] "
+               "[--methods a,b,c] [--methods-csv path.csv] "
+               "[--check-expectations]\n";
   return 1;
 }
 
@@ -136,6 +169,27 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->require_metrics = true;
     } else if (arg == "--no-verify") {
       options->verify = false;
+    } else if (arg == "--stream") {
+      options->stream = true;
+    } else if (arg == "--scenario") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->scenario = v;
+    } else if (arg == "--scenario-scale") {
+      if (!parse_double(&options->scenario_scale) ||
+          options->scenario_scale <= 0) {
+        return false;
+      }
+    } else if (arg == "--methods") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->methods = v;
+    } else if (arg == "--methods-csv") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->methods_csv = v;
+    } else if (arg == "--check-expectations") {
+      options->check_expectations = true;
     } else {
       return false;
     }
@@ -143,7 +197,350 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   return true;
 }
 
+// Bitwise double comparison where NaN (nothing scored) matches NaN.
+bool SameMetric(double a, double b) {
+  return (std::isnan(a) && std::isnan(b)) || a == b;
+}
+
+bool SameScore(const SnapshotScore& got, const SnapshotScore& expected) {
+  return got.day == expected.day &&
+         got.tweets_scored == expected.tweets_scored &&
+         got.users_scored == expected.users_scored &&
+         SameMetric(got.tweet_accuracy, expected.tweet_accuracy) &&
+         SameMetric(got.tweet_permutation_accuracy,
+                    expected.tweet_permutation_accuracy) &&
+         SameMetric(got.tweet_nmi, expected.tweet_nmi) &&
+         SameMetric(got.user_accuracy, expected.user_accuracy) &&
+         SameMetric(got.user_permutation_accuracy,
+                    expected.user_permutation_accuracy) &&
+         SameMetric(got.user_nmi, expected.user_nmi);
+}
+
+// Generates the demo corpus (same shape as the default replay demo) and
+// writes it to `path`; fills `lexicon` with the corrupted prior.
+Status WriteDemoCorpus(const std::string& path, SentimentLexicon* lexicon) {
+  SyntheticConfig config = Prop30LikeConfig();
+  config.num_days = 8;
+  config.base_tweets_per_day = 120.0;
+  config.num_users = 300;
+  SyntheticDataset dataset = GenerateSynthetic(config);
+  *lexicon = CorruptLexicon(dataset.true_lexicon, 0.6, 0.05, 99);
+  return WriteTsv(dataset.corpus, path);
+}
+
+// --scenario mode: run a named adversarial scenario through the
+// multi-method comparison runner and report per-method timelines.
+int RunScenarioMode(const CliOptions& options) {
+  if (options.scenario == "list") {
+    for (const std::string& name : ScenarioNames()) {
+      Result<Scenario> s = GetScenario(name);
+      std::cout << name << " — " << s.value().description << "\n";
+    }
+    return 0;
+  }
+  auto scenario_or = GetScenario(options.scenario, options.scenario_scale);
+  if (!scenario_or.ok()) return Fail(scenario_or.status().ToString());
+  const Scenario scenario = std::move(scenario_or).value();
+  std::cerr << "scenario " << scenario.name << " (scale "
+            << TableWriter::Num(options.scenario_scale, 2)
+            << "): " << scenario.description << "\n";
+
+  MethodRunnerOptions runner_options;
+  if (!options.methods.empty()) {
+    runner_options.methods = Split(options.methods, ',');
+  }
+  runner_options.max_iterations = options.iters;
+  runner_options.num_threads = options.threads;
+  auto run_or = RunScenario(scenario, runner_options);
+  if (!run_or.ok()) return Fail(run_or.status().ToString());
+  const ScenarioRun run = std::move(run_or).value();
+
+  // Per-day comparison: one accuracy-pair column per method.
+  TableWriter day_table(
+      "Method comparison timeline ('-' = nothing scored that day)");
+  std::vector<std::string> header = {"day"};
+  size_t num_day_rows = 0;
+  for (const MethodTimeline& m : run.methods) {
+    header.push_back(m.method + " t-acc");
+    header.push_back(m.method + " u-acc");
+    num_day_rows = std::max(num_day_rows, m.days.size());
+  }
+  day_table.SetHeader(header);
+  for (size_t d = 0; d < num_day_rows; ++d) {
+    std::vector<std::string> row;
+    for (const MethodTimeline& m : run.methods) {
+      if (row.empty()) {
+        row.push_back(d < m.days.size() ? std::to_string(m.days[d].day)
+                                        : std::to_string(d));
+      }
+      if (d < m.days.size()) {
+        row.push_back(TableWriter::Num(m.days[d].tweet_accuracy, 3));
+        row.push_back(TableWriter::Num(m.days[d].user_accuracy, 3));
+      } else {
+        row.push_back("-");
+        row.push_back("-");
+      }
+    }
+    if (row.empty()) row.push_back(std::to_string(d));
+    day_table.AddRow(row);
+  }
+  day_table.Print(std::cout);
+
+  TableWriter aggregate_table("Run aggregates (micro-averaged)");
+  aggregate_table.SetHeader(
+      {"method", "tweets scored", "tweet acc", "users scored", "user acc"});
+  for (const MethodTimeline& m : run.methods) {
+    aggregate_table.AddRow({m.method, std::to_string(m.tweets_scored),
+                            TableWriter::Num(m.tweet_accuracy, 3),
+                            std::to_string(m.users_scored),
+                            TableWriter::Num(m.user_accuracy, 3)});
+  }
+  aggregate_table.Print(std::cout);
+
+  std::cout << "fleet health after " << run.replay_horizon_days
+            << " replay days: " << run.final_health.healthy << " healthy, "
+            << run.final_health.degraded << " degraded, "
+            << run.final_health.quarantined << " quarantined, "
+            << run.final_health.retired << " retired\n";
+
+  if (!options.methods_csv.empty()) {
+    const Status written =
+        WriteMethodComparisonCsvFile(run, options.methods_csv);
+    if (!written.ok()) {
+      return Fail("methods csv write failed: " + written.ToString());
+    }
+    std::cout << "wrote method-comparison CSV to " << options.methods_csv
+              << "\n";
+  }
+
+  if (options.check_expectations) {
+    const ExpectationReport report = CheckExpectations(scenario, run);
+    if (!report.ok()) {
+      for (const std::string& failure : report.failures) {
+        std::cerr << "expectation MISSED: " << failure << "\n";
+      }
+      return 1;
+    }
+    std::cout << "all scenario expectations met\n";
+  }
+  return 0;
+}
+
+// --stream mode: replay through the bounded-memory streaming reader, then
+// verify bit-identity against the whole-file path over the same TSV.
+int RunStreamingReplay(const CliOptions& options) {
+  // Resolve the TSV path: --input, or generate + write the demo corpus.
+  // The file must outlive BOTH replay passes, so the demo temp file is
+  // removed only at the end.
+  struct TempFileGuard {
+    std::string path;
+    ~TempFileGuard() {
+      if (!path.empty()) std::remove(path.c_str());
+    }
+  } temp;
+  std::string path = options.input;
+  SentimentLexicon lexicon;
+  if (path.empty()) {
+    std::cerr << "demo mode: generating a synthetic campaign corpus\n";
+    path = options.write_demo.empty()
+               ? "/tmp/triclust_replay_stream." + std::to_string(getpid()) +
+                     ".tsv"
+               : options.write_demo;
+    const Status written = WriteDemoCorpus(path, &lexicon);
+    if (!written.ok()) return Fail(written.ToString());
+    std::cerr << "wrote demo corpus to " << path << "\n";
+    if (options.write_demo.empty()) temp.path = path;
+  } else {
+    lexicon = SentimentLexicon::BuiltinEnglish();
+  }
+
+  // --- two streaming passes fit the feature space ---------------------------
+  // (document-frequency count, then vocabulary admission — the same
+  // feature space MatrixBuilder::Fit learns, without the corpus in RAM).
+  MatrixBuilder builder;
+  builder.FitStreamBegin();
+  int stream_days = 0;
+  {
+    auto counted = ReadTsvStream(
+        path, [&](int /*day*/, const Corpus& c,
+                  const std::vector<size_t>& ids) {
+          for (size_t id : ids) builder.FitStreamCount(c.tweets()[id].text);
+          return Status::OK();
+        });
+    if (!counted.ok()) return Fail(counted.status().ToString());
+    stream_days = counted.value().num_days();
+  }
+  if (stream_days == 0) return Fail("corpus has no tweets");
+  builder.FitStreamAdmitBegin();
+  {
+    auto admitted = ReadTsvStream(
+        path, [&](int /*day*/, const Corpus& c,
+                  const std::vector<size_t>& ids) {
+          for (size_t id : ids) builder.FitStreamAdmit(c.tweets()[id].text);
+          return Status::OK();
+        });
+    if (!admitted.ok()) return Fail(admitted.status().ToString());
+  }
+  builder.FitStreamFinish();
+  std::cerr << "streaming fit: " << builder.vocabulary().size()
+            << " vocabulary terms over " << stream_days << " days\n";
+
+  // --- replay pass: pull-based streams over the live reader -----------------
+  auto reader_or = TsvStreamReader::Open(path);
+  if (!reader_or.ok()) return Fail(reader_or.status().ToString());
+  const std::unique_ptr<TsvStreamReader> reader =
+      std::move(reader_or).value();
+  const Corpus& corpus = reader->corpus();
+
+  const DenseMatrix sf0 = lexicon.BuildSf0(builder.vocabulary(), 3);
+  OnlineConfig config;
+  config.base.max_iterations = options.iters;
+  config.base.track_loss = false;
+
+  serving::CampaignEngine::Options engine_options;
+  engine_options.num_threads = options.threads;
+  serving::CampaignEngine engine(engine_options);
+  const size_t num_streams = options.campaigns;
+  for (size_t s = 0; s < num_streams; ++s) {
+    engine.AddCampaign("topic-" + std::to_string(s), config, sf0, builder,
+                       &corpus);
+  }
+
+  serving::ReplayDriver driver(&engine);
+  // The day hook pulls day `d`'s chunk before the day's snapshots are
+  // ingested, and releases day `d-1`'s text — Ingest tokenizes during the
+  // day, so a chunk's text lives for exactly one replay day.
+  TsvDayBatch batch;
+  size_t max_chunk_tweets = 0;
+  std::string stream_error;
+  driver.set_day_hook([&](int day) {
+    if (!stream_error.empty()) return;
+    if (day > 0) reader->ReleaseText(batch);
+    TsvDayBatch next;
+    auto more = reader->NextDay(&next);
+    if (!more.ok()) {
+      stream_error = more.status().ToString();
+    } else if (!more.value() || next.day != day) {
+      stream_error = "stream ended before day " + std::to_string(day);
+    }
+    if (!stream_error.empty()) {
+      batch = TsvDayBatch{};
+      return;
+    }
+    max_chunk_tweets = std::max(max_chunk_tweets, next.tweet_ids.size());
+    batch = std::move(next);
+  });
+  // Author-disjoint slices of the current chunk, matching
+  // PartitionIntoStreams' user % num_streams sharding.
+  for (size_t s = 0; s < num_streams; ++s) {
+    driver.AddStream(s, stream_days, [&, s](int day) {
+      Snapshot snap;
+      snap.first_day = day;
+      snap.last_day = day;
+      for (size_t id : batch.tweet_ids) {
+        if (corpus.tweets()[id].user % num_streams == s) {
+          snap.tweet_ids.push_back(id);
+        }
+      }
+      return snap;
+    });
+  }
+
+  std::vector<std::vector<TriClusterResult>> streamed(num_streams);
+  driver.set_snapshot_callback(
+      [&](int /*day*/, const serving::CampaignEngine::SnapshotReport& r) {
+        if (r.fitted) streamed[r.campaign].push_back(r.result);
+      });
+  TimelineEvaluator evaluator(&engine);
+  evaluator.Attach(&driver);
+
+  // Pacing/deadline/store knobs are ignored: this mode is about memory
+  // shape and bit-identity, not wall-clock realism.
+  serving::ReplayOptions replay_options;
+  replay_options.max_days = options.max_days;
+  serving::ReplayStats stats = driver.Replay(replay_options);
+  evaluator.Annotate(&stats);
+  if (!stream_error.empty()) {
+    return Fail("streaming read failed mid-replay: " + stream_error);
+  }
+
+  // The memory bound, verified: after the replay only the final chunk may
+  // still hold text.
+  size_t tweets_with_text = 0;
+  for (const Tweet& t : corpus.tweets()) {
+    if (!t.text.empty()) ++tweets_with_text;
+  }
+  std::cout << "streamed " << stats.total_tweets << " tweets over "
+            << stats.days.size() << " days holding at most one day-chunk "
+            << "of text (largest chunk " << max_chunk_tweets
+            << " tweets; " << tweets_with_text
+            << " texts still resident)\n";
+  if (tweets_with_text > max_chunk_tweets) {
+    return Fail("streaming replay retained more than one day-chunk of text");
+  }
+
+  // --- whole-file pass over the same TSV, then bitwise comparison -----------
+  auto loaded = ReadTsv(path);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const Corpus whole = std::move(loaded).value();
+  MatrixBuilder whole_builder;
+  whole_builder.Fit(whole);
+  const DenseMatrix whole_sf0 = lexicon.BuildSf0(whole_builder.vocabulary(), 3);
+
+  serving::CampaignEngine whole_engine(engine_options);
+  for (size_t s = 0; s < num_streams; ++s) {
+    whole_engine.AddCampaign("topic-" + std::to_string(s), config, whole_sf0,
+                             whole_builder, &whole);
+  }
+  serving::ReplayDriver whole_driver(&whole_engine);
+  const auto whole_streams = serving::PartitionIntoStreams(whole, num_streams);
+  for (size_t s = 0; s < num_streams; ++s) {
+    whole_driver.AddStream(s, whole_streams[s]);
+  }
+  std::vector<std::vector<TriClusterResult>> direct(num_streams);
+  whole_driver.set_snapshot_callback(
+      [&](int /*day*/, const serving::CampaignEngine::SnapshotReport& r) {
+        if (r.fitted) direct[r.campaign].push_back(r.result);
+      });
+  TimelineEvaluator whole_evaluator(&whole_engine);
+  whole_evaluator.Attach(&whole_driver);
+  serving::ReplayOptions whole_options;
+  whole_options.max_days = options.max_days;
+  whole_driver.Replay(whole_options);
+
+  bool identical = stream_days == whole.num_days();
+  if (!identical) {
+    std::cerr << "day horizon mismatch: streamed " << stream_days
+              << " vs whole-file " << whole.num_days() << "\n";
+  }
+  for (size_t s = 0; s < num_streams && identical; ++s) {
+    identical = streamed[s].size() == direct[s].size();
+    for (size_t i = 0; i < streamed[s].size() && identical; ++i) {
+      identical = streamed[s][i].su == direct[s][i].su &&
+                  streamed[s][i].sp == direct[s][i].sp &&
+                  streamed[s][i].sf == direct[s][i].sf;
+    }
+  }
+  bool metrics_identical = true;
+  for (size_t s = 0; s < num_streams && metrics_identical; ++s) {
+    const auto& got = evaluator.timelines()[s].scores;
+    const auto& expected = whole_evaluator.timelines()[s].scores;
+    metrics_identical = got.size() == expected.size();
+    for (size_t i = 0; i < got.size() && metrics_identical; ++i) {
+      metrics_identical = SameScore(got[i], expected[i]);
+    }
+  }
+  std::cout << "streamed replay vs whole-file replay (factors): "
+            << (identical ? "bit-identical" : "MISMATCH (bug!)") << "\n";
+  std::cout << "streamed accuracy timeline vs whole-file: "
+            << (metrics_identical ? "bit-identical" : "MISMATCH (bug!)")
+            << "\n";
+  return identical && metrics_identical ? 0 : 1;
+}
+
 int RunReplay(const CliOptions& options) {
+  if (!options.scenario.empty()) return RunScenarioMode(options);
+  if (options.stream) return RunStreamingReplay(options);
   // --- load (or generate + round-trip) the corpus ---------------------------
   Corpus corpus;
   SentimentLexicon lexicon;
@@ -340,24 +737,6 @@ int RunReplay(const CliOptions& options) {
                    "boundaries, so a direct per-day run is not comparable\n";
       return 0;
     }
-    // Bitwise double comparison where NaN (nothing scored) matches NaN.
-    const auto same_metric = [](double a, double b) {
-      return (std::isnan(a) && std::isnan(b)) || a == b;
-    };
-    const auto same_score = [&](const SnapshotScore& got,
-                                const SnapshotScore& expected) {
-      return got.day == expected.day &&
-             got.tweets_scored == expected.tweets_scored &&
-             got.users_scored == expected.users_scored &&
-             same_metric(got.tweet_accuracy, expected.tweet_accuracy) &&
-             same_metric(got.tweet_permutation_accuracy,
-                         expected.tweet_permutation_accuracy) &&
-             same_metric(got.tweet_nmi, expected.tweet_nmi) &&
-             same_metric(got.user_accuracy, expected.user_accuracy) &&
-             same_metric(got.user_permutation_accuracy,
-                         expected.user_permutation_accuracy) &&
-             same_metric(got.user_nmi, expected.user_nmi);
-    };
     bool identical = true;
     bool metrics_identical = true;
     for (size_t s = 0; s < streams.size(); ++s) {
@@ -386,9 +765,9 @@ int RunReplay(const CliOptions& options) {
         // solve — same scoring kernel, bit-identical factors in, so every
         // metric double must come out bit-for-bit equal.
         if (cursor >= scores.size() ||
-            !same_score(scores[cursor],
-                        ScoreSnapshot(corpus, data, expected, day, s,
-                                      snap.last_day))) {
+            !SameScore(scores[cursor],
+                       ScoreSnapshot(corpus, data, expected, day, s,
+                                     snap.last_day))) {
           metrics_identical = false;
         }
         ++cursor;

@@ -25,6 +25,12 @@ size_t Corpus::AddTweet(size_t user, int day, std::string text,
   return id;
 }
 
+void Corpus::ReleaseTweetText(size_t id) {
+  TRICLUST_CHECK_LT(id, tweets_.size());
+  // shrink_to_fit via swap: clear() alone keeps the heap allocation.
+  std::string().swap(tweets_[id].text);
+}
+
 void Corpus::SetUserSentimentAt(size_t user, int day, Sentiment sentiment) {
   TRICLUST_CHECK_LT(user, users_.size());
   TRICLUST_CHECK_GE(day, 0);

@@ -57,6 +57,15 @@ class Corpus {
                   Sentiment label = Sentiment::kUnlabeled,
                   ptrdiff_t retweet_of = -1);
 
+  /// Releases a tweet's text (the dominant memory term of a large corpus),
+  /// keeping its constant-size metadata — author, day, label, retweet link —
+  /// which is all that matrix assembly and evaluation read. The bounded-
+  /// memory replay path (ReadTsvStream) calls this once a day's tweets are
+  /// vectorized into the engine; the tweet must not be re-tokenized
+  /// afterwards (MatrixBuilder::Append on a released tweet sees empty
+  /// text).
+  void ReleaseTweetText(size_t id);
+
   /// Records the ground-truth sentiment of `user` on `day` (generator only).
   void SetUserSentimentAt(size_t user, int day, Sentiment sentiment);
 

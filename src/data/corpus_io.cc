@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/util/file_util.h"
@@ -124,9 +127,14 @@ Status WriteTsv(const Corpus& corpus, const std::string& path) {
   });
 }
 
-Result<Corpus> ReadTsv(std::istream* is, const std::string& source_name) {
-  Corpus corpus;
-  std::string line;
+namespace {
+
+/// Row-level TSV parsing shared by ReadTsv and TsvStreamReader, so both
+/// paths validate identically and emit byte-identical
+/// "<source>:<line>:" diagnostics. The context tracks the file-global
+/// line number and the legacy raw-text mode across day-chunk boundaries.
+struct TsvParseContext {
+  std::string source_name;
   size_t line_no = 0;
   // Files from the pre-corpus_io writer open with a "#users\t<count>"
   // banner as their FIRST line and wrote handle/text fields raw (no
@@ -135,16 +143,21 @@ Result<Corpus> ReadTsv(std::istream* is, const std::string& source_name) {
   // cannot flip the mode mid-stream) and skip unescaping so those bytes
   // load unchanged.
   bool legacy_raw_text = false;
-  const auto decode_field = [&legacy_raw_text](const std::string& field) {
+
+  Status Fail(const std::string& why) const {
+    return Status::ParseError(source_name + ":" + std::to_string(line_no) +
+                              ": " + why);
+  }
+
+  std::string Decode(const std::string& field) const {
     return legacy_raw_text ? field : UnescapeTsvField(field);
-  };
-  // Day extremes, for the epoch-days warnings below.
-  long long first_populated_day = kMaxDay + 1;
-  long long max_tweet_day = -1;
-  long long max_label_day = -1;
-  while (std::getline(*is, line)) {
+  }
+
+  /// Counts, banner-detects, and CRLF-normalizes one raw line. Returns
+  /// false when the line carries no record (blank or comment).
+  bool Preprocess(std::string* line) {
     ++line_no;
-    if (line_no == 1 && line.compare(0, 7, "#users\t") == 0) {
+    if (line_no == 1 && line->compare(0, 7, "#users\t") == 0) {
       legacy_raw_text = true;
     }
     // Tolerate CRLF line endings (externally-prepared files): the
@@ -152,103 +165,136 @@ Result<Corpus> ReadTsv(std::istream* is, const std::string& source_name) {
     // carriage returns inside text arrive as the \r escape. Legacy files
     // are exempt: their writer escaped nothing, so a trailing CR there is
     // content, which the pre-corpus_io loader preserved.
-    if (!legacy_raw_text && !line.empty() && line.back() == '\r') {
-      line.pop_back();
+    if (!legacy_raw_text && !line->empty() && line->back() == '\r') {
+      line->pop_back();
     }
-    if (line.empty() || line[0] == '#') continue;
+    return !(line->empty() || (*line)[0] == '#');
+  }
+
+  Status HandleUser(const std::vector<std::string>& fields, Corpus* corpus) {
+    if (fields.size() != 4) {
+      return Fail("user row needs 4 fields, got " +
+                  std::to_string(fields.size()));
+    }
+    size_t id = 0;
+    if (!ParseSizeT(fields[1], &id)) {
+      return Fail("malformed user id '" + fields[1] + "'");
+    }
+    if (id != corpus->num_users()) {
+      return Fail("non-contiguous user id " + fields[1] + " (expected " +
+                  std::to_string(corpus->num_users()) + ")");
+    }
+    Sentiment label = Sentiment::kUnlabeled;
+    if (!ParseSentimentLabel(fields[3], &label)) {
+      return Fail("unknown label '" + fields[3] + "'");
+    }
+    corpus->AddUser(Decode(fields[2]), label);
+    return Status::OK();
+  }
+
+  Status HandleTweet(const std::vector<std::string>& fields, Corpus* corpus,
+                     long long* day_out) {
+    if (fields.size() != 7) {
+      return Fail("tweet row needs 7 fields, got " +
+                  std::to_string(fields.size()));
+    }
+    size_t id = 0;
+    if (!ParseSizeT(fields[1], &id)) {
+      return Fail("malformed tweet id '" + fields[1] + "'");
+    }
+    if (id != corpus->num_tweets()) {
+      return Fail("non-contiguous tweet id " + fields[1] + " (expected " +
+                  std::to_string(corpus->num_tweets()) + ")");
+    }
+    size_t user = 0;
+    if (!ParseSizeT(fields[2], &user)) {
+      return Fail("malformed user id '" + fields[2] + "'");
+    }
+    if (user >= corpus->num_users()) {
+      return Fail("tweet references undefined user " + fields[2]);
+    }
+    long long day = 0;
+    if (!ParseInt64(fields[3], &day) || day < 0 || day > kMaxDay) {
+      return Fail("day '" + fields[3] + "' out of range [0, " +
+                  std::to_string(kMaxDay) + "]");
+    }
+    Sentiment label = Sentiment::kUnlabeled;
+    if (!ParseSentimentLabel(fields[4], &label)) {
+      return Fail("unknown label '" + fields[4] + "'");
+    }
+    long long retweet_of = -1;
+    if (!ParseInt64(fields[5], &retweet_of) || retweet_of < -1) {
+      return Fail("malformed retweet_of '" + fields[5] + "'");
+    }
+    if (retweet_of >= static_cast<long long>(id)) {
+      return Fail("retweet_of " + fields[5] +
+                  " must reference an earlier tweet");
+    }
+    corpus->AddTweet(user, static_cast<int>(day), Decode(fields[6]), label,
+                     static_cast<ptrdiff_t>(retweet_of));
+    *day_out = day;
+    return Status::OK();
+  }
+
+  Status HandleDayLabel(const std::vector<std::string>& fields,
+                        Corpus* corpus, long long* day_out) {
+    if (fields.size() != 4) {
+      return Fail("day-label row needs 4 fields, got " +
+                  std::to_string(fields.size()));
+    }
+    size_t user = 0;
+    if (!ParseSizeT(fields[1], &user)) {
+      return Fail("malformed user id '" + fields[1] + "'");
+    }
+    if (user >= corpus->num_users()) {
+      return Fail("day label references undefined user " + fields[1]);
+    }
+    long long day = 0;
+    if (!ParseInt64(fields[2], &day) || day < 0 || day > kMaxDay) {
+      return Fail("day '" + fields[2] + "' out of range [0, " +
+                  std::to_string(kMaxDay) + "]");
+    }
+    Sentiment label = Sentiment::kUnlabeled;
+    if (!ParseSentimentLabel(fields[3], &label)) {
+      return Fail("unknown label '" + fields[3] + "'");
+    }
+    if (label == Sentiment::kUnlabeled) {
+      return Fail("day annotation must carry a pos/neg/neu label");
+    }
+    corpus->SetUserSentimentAt(user, static_cast<int>(day), label);
+    *day_out = day;
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Result<Corpus> ReadTsv(std::istream* is, const std::string& source_name) {
+  Corpus corpus;
+  std::string line;
+  TsvParseContext ctx;
+  ctx.source_name = source_name;
+  // Day extremes, for the epoch-days warnings below.
+  long long first_populated_day = kMaxDay + 1;
+  long long max_tweet_day = -1;
+  long long max_label_day = -1;
+  while (std::getline(*is, line)) {
+    if (!ctx.Preprocess(&line)) continue;
     const std::vector<std::string> fields = Split(line, '\t');
-    const auto fail = [&](const std::string& why) {
-      return Status::ParseError(source_name + ":" + std::to_string(line_no) +
-                                ": " + why);
-    };
     if (fields[0] == "U") {
-      if (fields.size() != 4) {
-        return fail("user row needs 4 fields, got " +
-                    std::to_string(fields.size()));
-      }
-      size_t id = 0;
-      if (!ParseSizeT(fields[1], &id)) {
-        return fail("malformed user id '" + fields[1] + "'");
-      }
-      if (id != corpus.num_users()) {
-        return fail("non-contiguous user id " + fields[1] + " (expected " +
-                    std::to_string(corpus.num_users()) + ")");
-      }
-      Sentiment label = Sentiment::kUnlabeled;
-      if (!ParseSentimentLabel(fields[3], &label)) {
-        return fail("unknown label '" + fields[3] + "'");
-      }
-      corpus.AddUser(decode_field(fields[2]), label);
+      TRICLUST_RETURN_IF_ERROR(ctx.HandleUser(fields, &corpus));
     } else if (fields[0] == "T") {
-      if (fields.size() != 7) {
-        return fail("tweet row needs 7 fields, got " +
-                    std::to_string(fields.size()));
-      }
-      size_t id = 0;
-      if (!ParseSizeT(fields[1], &id)) {
-        return fail("malformed tweet id '" + fields[1] + "'");
-      }
-      if (id != corpus.num_tweets()) {
-        return fail("non-contiguous tweet id " + fields[1] + " (expected " +
-                    std::to_string(corpus.num_tweets()) + ")");
-      }
-      size_t user = 0;
-      if (!ParseSizeT(fields[2], &user)) {
-        return fail("malformed user id '" + fields[2] + "'");
-      }
-      if (user >= corpus.num_users()) {
-        return fail("tweet references undefined user " + fields[2]);
-      }
       long long day = 0;
-      if (!ParseInt64(fields[3], &day) || day < 0 || day > kMaxDay) {
-        return fail("day '" + fields[3] + "' out of range [0, " +
-                    std::to_string(kMaxDay) + "]");
-      }
-      Sentiment label = Sentiment::kUnlabeled;
-      if (!ParseSentimentLabel(fields[4], &label)) {
-        return fail("unknown label '" + fields[4] + "'");
-      }
-      long long retweet_of = -1;
-      if (!ParseInt64(fields[5], &retweet_of) || retweet_of < -1) {
-        return fail("malformed retweet_of '" + fields[5] + "'");
-      }
-      if (retweet_of >= static_cast<long long>(id)) {
-        return fail("retweet_of " + fields[5] +
-                    " must reference an earlier tweet");
-      }
+      TRICLUST_RETURN_IF_ERROR(ctx.HandleTweet(fields, &corpus, &day));
       first_populated_day = std::min(first_populated_day, day);
       max_tweet_day = std::max(max_tweet_day, day);
-      corpus.AddTweet(user, static_cast<int>(day), decode_field(fields[6]),
-                      label, static_cast<ptrdiff_t>(retweet_of));
     } else if (fields[0] == "D") {
-      if (fields.size() != 4) {
-        return fail("day-label row needs 4 fields, got " +
-                    std::to_string(fields.size()));
-      }
-      size_t user = 0;
-      if (!ParseSizeT(fields[1], &user)) {
-        return fail("malformed user id '" + fields[1] + "'");
-      }
-      if (user >= corpus.num_users()) {
-        return fail("day label references undefined user " + fields[1]);
-      }
       long long day = 0;
-      if (!ParseInt64(fields[2], &day) || day < 0 || day > kMaxDay) {
-        return fail("day '" + fields[2] + "' out of range [0, " +
-                    std::to_string(kMaxDay) + "]");
-      }
-      Sentiment label = Sentiment::kUnlabeled;
-      if (!ParseSentimentLabel(fields[3], &label)) {
-        return fail("unknown label '" + fields[3] + "'");
-      }
-      if (label == Sentiment::kUnlabeled) {
-        return fail("day annotation must carry a pos/neg/neu label");
-      }
+      TRICLUST_RETURN_IF_ERROR(ctx.HandleDayLabel(fields, &corpus, &day));
       first_populated_day = std::min(first_populated_day, day);
       max_label_day = std::max(max_label_day, day);
-      corpus.SetUserSentimentAt(user, static_cast<int>(day), label);
     } else {
-      return fail("unknown row tag '" + fields[0] + "'");
+      return ctx.Fail("unknown row tag '" + fields[0] + "'");
     }
   }
   if (is->bad()) return Status::IoError(source_name + ": read failed");
@@ -280,6 +326,203 @@ Result<Corpus> ReadTsv(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for reading: " + path);
   return ReadTsv(&in, path);
+}
+
+struct TsvStreamReader::Impl {
+  std::unique_ptr<std::istream> input;
+  TsvParseContext ctx;
+  Corpus corpus;
+
+  // The one tweet read past the current day boundary. T rows are id-ordered,
+  // so it is already appended to the corpus (dense ids stay intact); its id
+  // is simply not yielded until NextDay() reaches its day.
+  bool has_pending = false;
+  size_t pending_id = 0;
+  int pending_day = 0;
+
+  /// The day the next NextDay() call will yield.
+  int next_day = 0;
+  /// Day of the last T row parsed, for the non-decreasing-day check.
+  int last_tweet_day = -1;
+  /// True once the input has been read to EOF.
+  bool exhausted = false;
+  bool warned = false;
+
+  // Day extremes, for the same epoch-days warnings ReadTsv emits.
+  long long first_populated_day = kMaxDay + 1;
+  long long max_tweet_day = -1;
+  long long max_label_day = -1;
+
+  /// Emits ReadTsv's epoch-days warnings once, when the stream is done.
+  void WarnIfEpochDays() {
+    if (warned) return;
+    warned = true;
+    if (first_populated_day <= kMaxDay && first_populated_day > 365) {
+      TRICLUST_LOG(kWarning)
+          << ctx.source_name << ": first populated day is "
+          << first_populated_day
+          << " — days should be zero-based within the collection window; "
+          << "day-indexed consumers (replay, snapshot splitting, per-day "
+          << "labels) will walk the empty prefix first";
+    }
+    if (max_label_day > max_tweet_day + 365) {
+      TRICLUST_LOG(kWarning)
+          << ctx.source_name << ": per-day labels reach day " << max_label_day
+          << " but the last tweet is on day " << max_tweet_day
+          << " — the day bases look mismatched, so evaluations would never "
+          << "consult the out-of-window annotations";
+    }
+  }
+};
+
+TsvStreamReader::TsvStreamReader() : impl_(new Impl) {}
+TsvStreamReader::~TsvStreamReader() = default;
+
+Result<std::unique_ptr<TsvStreamReader>> TsvStreamReader::Open(
+    const std::string& path) {
+  auto file = std::make_unique<std::ifstream>(path);
+  if (!*file) return Status::IoError("cannot open for reading: " + path);
+  return Open(std::move(file), path);
+}
+
+Result<std::unique_ptr<TsvStreamReader>> TsvStreamReader::Open(
+    std::unique_ptr<std::istream> is, const std::string& source_name) {
+  std::unique_ptr<TsvStreamReader> reader(new TsvStreamReader());
+  Impl& impl = *reader->impl_;
+  impl.input = std::move(is);
+  impl.ctx.source_name = source_name;
+  // Preamble: every U row, then every D row, up to the first T row. The
+  // skeleton corpus this builds (users + per-day annotations) is exactly
+  // what campaign registration and evaluation need before any tweet
+  // arrives.
+  std::string line;
+  bool seen_day_label = false;
+  while (std::getline(*impl.input, line)) {
+    if (!impl.ctx.Preprocess(&line)) continue;
+    const std::vector<std::string> fields = Split(line, '\t');
+    if (fields[0] == "U") {
+      if (seen_day_label) {
+        return impl.ctx.Fail(
+            "user row after day-label rows (the streaming reader requires "
+            "the canonical section order WriteTsv emits: U, then D, then "
+            "day-ordered T)");
+      }
+      TRICLUST_RETURN_IF_ERROR(impl.ctx.HandleUser(fields, &impl.corpus));
+    } else if (fields[0] == "D") {
+      seen_day_label = true;
+      long long day = 0;
+      TRICLUST_RETURN_IF_ERROR(
+          impl.ctx.HandleDayLabel(fields, &impl.corpus, &day));
+      impl.first_populated_day = std::min(impl.first_populated_day, day);
+      impl.max_label_day = std::max(impl.max_label_day, day);
+    } else if (fields[0] == "T") {
+      long long day = 0;
+      TRICLUST_RETURN_IF_ERROR(
+          impl.ctx.HandleTweet(fields, &impl.corpus, &day));
+      impl.first_populated_day = std::min(impl.first_populated_day, day);
+      impl.max_tweet_day = std::max(impl.max_tweet_day, day);
+      impl.has_pending = true;
+      impl.pending_id = impl.corpus.num_tweets() - 1;
+      impl.pending_day = static_cast<int>(day);
+      impl.last_tweet_day = static_cast<int>(day);
+      break;
+    } else {
+      return impl.ctx.Fail("unknown row tag '" + fields[0] + "'");
+    }
+  }
+  if (impl.input->bad()) {
+    return Status::IoError(source_name + ": read failed");
+  }
+  if (!impl.has_pending) impl.exhausted = true;
+  return std::move(reader);
+}
+
+const Corpus& TsvStreamReader::corpus() const { return impl_->corpus; }
+
+Result<bool> TsvStreamReader::NextDay(TsvDayBatch* batch) {
+  Impl& impl = *impl_;
+  batch->tweet_ids.clear();
+  if (impl.exhausted && !impl.has_pending) {
+    impl.WarnIfEpochDays();
+    return false;
+  }
+  batch->day = impl.next_day;
+  // Invariant at entry: a pending tweet exists (reading only stops at a
+  // day boundary or EOF, and EOF without a pending tweet returned false
+  // above).
+  if (impl.pending_day > impl.next_day) {
+    // Gap day with no tweets: yield it empty so streamed day indices stay
+    // aligned with ReadTsv + SplitByDay, which emits empty snapshots too.
+    ++impl.next_day;
+    return true;
+  }
+  batch->tweet_ids.push_back(impl.pending_id);
+  impl.has_pending = false;
+  std::string line;
+  while (std::getline(*impl.input, line)) {
+    if (!impl.ctx.Preprocess(&line)) continue;
+    const std::vector<std::string> fields = Split(line, '\t');
+    if (fields[0] == "T") {
+      long long day = 0;
+      TRICLUST_RETURN_IF_ERROR(
+          impl.ctx.HandleTweet(fields, &impl.corpus, &day));
+      impl.first_populated_day = std::min(impl.first_populated_day, day);
+      impl.max_tweet_day = std::max(impl.max_tweet_day, day);
+      if (day < impl.last_tweet_day) {
+        return impl.ctx.Fail(
+            "tweet day " + std::to_string(day) + " goes backwards after day " +
+            std::to_string(impl.last_tweet_day) +
+            " (the streaming reader requires day-ordered T rows)");
+      }
+      impl.last_tweet_day = static_cast<int>(day);
+      const size_t id = impl.corpus.num_tweets() - 1;
+      if (day == impl.next_day) {
+        batch->tweet_ids.push_back(id);
+      } else {
+        impl.has_pending = true;
+        impl.pending_id = id;
+        impl.pending_day = static_cast<int>(day);
+        break;
+      }
+    } else if (fields[0] == "U" || fields[0] == "D") {
+      return impl.ctx.Fail(
+          std::string(fields[0] == "U" ? "user" : "day-label") +
+          " row after tweet rows (the streaming reader requires the "
+          "canonical section order WriteTsv emits: U, then D, then "
+          "day-ordered T)");
+    } else {
+      return impl.ctx.Fail("unknown row tag '" + fields[0] + "'");
+    }
+  }
+  if (impl.input->bad()) {
+    return Status::IoError(impl.ctx.source_name + ": read failed");
+  }
+  if (!impl.has_pending) impl.exhausted = true;
+  ++impl.next_day;
+  return true;
+}
+
+void TsvStreamReader::ReleaseText(const TsvDayBatch& batch) {
+  for (const size_t id : batch.tweet_ids) {
+    impl_->corpus.ReleaseTweetText(id);
+  }
+}
+
+Corpus TsvStreamReader::TakeCorpus() { return std::move(impl_->corpus); }
+
+Result<Corpus> ReadTsvStream(const std::string& path,
+                             const TsvDayCallback& on_day) {
+  TRICLUST_ASSIGN_OR_RETURN(std::unique_ptr<TsvStreamReader> reader,
+                            TsvStreamReader::Open(path));
+  TsvDayBatch batch;
+  while (true) {
+    TRICLUST_ASSIGN_OR_RETURN(const bool more, reader->NextDay(&batch));
+    if (!more) break;
+    TRICLUST_RETURN_IF_ERROR(on_day(batch.day, reader->corpus(),
+                                    batch.tweet_ids));
+    reader->ReleaseText(batch);
+  }
+  return reader->TakeCorpus();
 }
 
 }  // namespace triclust

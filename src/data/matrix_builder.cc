@@ -21,6 +21,27 @@ void MatrixBuilder::Fit(const Corpus& corpus) {
   fitted_ = true;
 }
 
+void MatrixBuilder::FitStreamBegin() {
+  tokens_by_tweet_.clear();
+  fitted_ = false;
+  vectorizer_.FitStreamBegin();
+}
+
+void MatrixBuilder::FitStreamCount(const std::string& text) {
+  vectorizer_.FitStreamCount(tokenizer_.Tokenize(text));
+}
+
+void MatrixBuilder::FitStreamAdmitBegin() { vectorizer_.FitStreamAdmitBegin(); }
+
+void MatrixBuilder::FitStreamAdmit(const std::string& text) {
+  vectorizer_.FitStreamAdmit(tokenizer_.Tokenize(text));
+}
+
+void MatrixBuilder::FitStreamFinish() {
+  vectorizer_.FitStreamFinish();
+  fitted_ = true;
+}
+
 DatasetMatrices MatrixBuilder::Assemble(const Corpus& corpus,
                                         std::vector<size_t> tweet_ids,
                                         SparseMatrix xp,

@@ -155,6 +155,12 @@ SyntheticDataset GenerateSynthetic(const SyntheticConfig& config) {
     return pool[(rank + offset) % pool.size()];
   };
 
+  // Topic hijack (scenario suite): once active, text-level polarity is
+  // inverted — the pools swap roles — while stances and labels stay put.
+  const auto hijacked = [&]() {
+    return config.hijack_day >= 0 && current_day >= config.hijack_day;
+  };
+
   auto compose_text = [&](Sentiment cls, Rng* r) {
     const int len = static_cast<int>(r->UniformInt(
         config.min_tokens_per_tweet, config.max_tokens_per_tweet));
@@ -165,7 +171,7 @@ SyntheticDataset GenerateSynthetic(const SyntheticConfig& config) {
       if (cls != Sentiment::kNeutral && roll < config.polar_word_rate) {
         const bool off_class = r->Bernoulli(config.off_class_noise);
         const bool positive =
-            (cls == Sentiment::kPositive) != off_class;
+            ((cls == Sentiment::kPositive) != off_class) != hijacked();
         tokens.push_back(sample_word(
             positive ? pools.positive : pools.negative, /*drifts=*/true, r));
       } else if (cls == Sentiment::kNeutral &&
@@ -180,12 +186,53 @@ SyntheticDataset GenerateSynthetic(const SyntheticConfig& config) {
       }
     }
     if (cls == Sentiment::kPositive && r->Bernoulli(config.emoticon_prob)) {
-      tokens.emplace_back(":)");
+      tokens.emplace_back(hijacked() ? ":(" : ":)");
     } else if (cls == Sentiment::kNegative &&
                r->Bernoulli(config.emoticon_prob)) {
-      tokens.emplace_back(":(");
+      tokens.emplace_back(hijacked() ? ":)" : ":(");
     }
     return Join(tokens, " ");
+  };
+
+  // Spam/botnet population (scenario suite). Spam users sit after the
+  // genuine ids and draw from their own RNG stream so that, for a fixed
+  // seed, the genuine corpus is bit-identical whether or not spam is
+  // enabled. Spam tweets and users are kUnlabeled: they poison the matrix
+  // and the user graph without entering accuracy denominators.
+  Rng spam_rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<size_t> spam_users;
+  spam_users.reserve(config.num_spam_users);
+  for (size_t s = 0; s < config.num_spam_users; ++s) {
+    spam_users.push_back(corpus.AddUser(StrFormat("spambot%zu", s)));
+  }
+  auto emit_spam_day = [&](int day, std::vector<int>* day_of) {
+    if (spam_users.empty() || config.spam_tweets_per_user_per_day <= 0.0) {
+      return;
+    }
+    for (size_t spammer : spam_users) {
+      const int n = spam_rng.Poisson(config.spam_tweets_per_user_per_day);
+      for (int i = 0; i < n; ++i) {
+        const int len = static_cast<int>(spam_rng.UniformInt(
+            config.min_tokens_per_tweet, config.max_tokens_per_tweet));
+        std::vector<std::string> tokens;
+        tokens.reserve(static_cast<size_t>(len));
+        for (int t = 0; t < len; ++t) {
+          if (spam_rng.NextDouble() < config.spam_polar_word_rate) {
+            tokens.push_back(sample_word(spam_rng.Bernoulli(0.5)
+                                             ? pools.positive
+                                             : pools.negative,
+                                         /*drifts=*/true, &spam_rng));
+          } else {
+            tokens.push_back(
+                sample_word(pools.topic, /*drifts=*/true, &spam_rng));
+          }
+        }
+        const size_t id = corpus.AddTweet(spammer, day, Join(tokens, " "),
+                                          Sentiment::kUnlabeled);
+        day_of->push_back(day);
+        TRICLUST_CHECK_EQ(day_of->size(), id + 1);
+      }
+    }
   };
 
   for (int day = 0; day < config.num_days; ++day) {
@@ -203,7 +250,13 @@ SyntheticDataset GenerateSynthetic(const SyntheticConfig& config) {
     for (int burst : config.burst_days) {
       if (burst == day) volume *= config.burst_multiplier;
     }
-    const int tweets_today = rng.Poisson(volume);
+    bool dead = false;
+    for (int d : config.dead_days) {
+      if (d == day) dead = true;
+    }
+    // Dead days skip the Poisson draw entirely (not Poisson(0)) so that a
+    // config without dead days replays the exact same RNG sequence.
+    const int tweets_today = dead ? 0 : rng.Poisson(volume);
 
     for (auto& v : today_by_class) v.clear();
 
@@ -248,6 +301,10 @@ SyntheticDataset GenerateSynthetic(const SyntheticConfig& config) {
       TRICLUST_CHECK_EQ(recent_day_of.size(), id + 1);
       today_by_class[SentimentIndex(cls)].push_back(id);
     }
+
+    // Spam floods the day after genuine traffic; its ids never enter the
+    // retweet-candidate pools, so genuine users never amplify bots.
+    if (!dead) emit_spam_day(day, &recent_day_of);
 
     // Roll the retweet-candidate window forward.
     for (int c = 0; c < kNumSentimentClasses; ++c) {

@@ -48,6 +48,28 @@ struct SyntheticConfig {
   /// Days with a volume burst (e.g. debate nights, election day).
   std::vector<int> burst_days = {20};
   double burst_multiplier = 4.0;
+  /// Days with zero tweet volume (outages, degenerate replay days). Stance
+  /// trajectories still evolve through the silence. Overrides bursts.
+  std::vector<int> dead_days;
+
+  // --- adversarial knobs (scenario suite; all inert by default) -----------
+  /// First day of a topic hijack: from this day on, the polar word pools
+  /// swap roles in generated text (positive-stance authors draw from the
+  /// negative pool and vice versa), so tweet text contradicts any lexicon
+  /// built before the hijack while user stances and labels are unchanged.
+  /// Negative disables.
+  int hijack_day = -1;
+  /// Spam/botnet authors appended after the genuine population. They are
+  /// kUnlabeled (excluded from accuracy) but flood the matrix with
+  /// high-polar-rate text of a random class each tweet. Spam draws from a
+  /// separate RNG stream, so enabling it never perturbs the genuine
+  /// corpus for a given seed; spam tweets are never retweeted by genuine
+  /// users.
+  size_t num_spam_users = 0;
+  /// Poisson mean of per-spam-user daily tweet volume.
+  double spam_tweets_per_user_per_day = 0.0;
+  /// Fraction of spam tweet tokens drawn from a polar pool.
+  double spam_polar_word_rate = 0.9;
 
   // --- tweet content ---
   int min_tokens_per_tweet = 6;

@@ -158,7 +158,15 @@ TimelineEvaluator::TimelineEvaluator(const serving::CampaignEngine* engine)
 
 void TimelineEvaluator::Observe(
     int day, const serving::CampaignEngine::SnapshotReport& report) {
-  TRICLUST_CHECK_LT(report.campaign, timelines_.size());
+  TRICLUST_CHECK_LT(report.campaign, engine_->num_campaigns());
+  // Campaign churn can register campaigns after construction; grow the
+  // timeline table to match the engine (ids are dense).
+  while (timelines_.size() < engine_->num_campaigns()) {
+    CampaignTimeline timeline;
+    timeline.campaign = timelines_.size();
+    timeline.name = engine_->name(timeline.campaign);
+    timelines_.push_back(std::move(timeline));
+  }
   if (!report.fitted) return;
   timelines_[report.campaign].scores.push_back(
       ScoreSnapshot(engine_->corpus(report.campaign), report.data,

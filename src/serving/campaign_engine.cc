@@ -121,6 +121,9 @@ void CampaignEngine::Ingest(size_t campaign,
                             int label_day) {
   TRICLUST_CHECK_LT(campaign, campaigns_.size());
   Campaign& c = *campaigns_[campaign];
+  // Feeding a retired campaign is a routing bug in the caller: the tweets
+  // would queue forever (retired campaigns never fit again).
+  TRICLUST_CHECK(!c.retired);
   c.builder.Append(*c.corpus, tweet_ids);
   c.pending_label_day = label_day;
 }
@@ -192,6 +195,29 @@ void CampaignEngine::ReviveCampaign(size_t campaign) {
   TRICLUST_LOG(kInfo) << "campaign '" << c.name << "' revived";
 }
 
+void CampaignEngine::RetireCampaign(size_t campaign) {
+  TRICLUST_CHECK_LT(campaign, campaigns_.size());
+  Campaign& c = *campaigns_[campaign];
+  if (c.retired) return;
+  c.retired = true;
+  TRICLUST_LOG(kInfo) << "campaign '" << c.name << "' retired at timestep "
+                      << c.state.timestep << " with "
+                      << c.builder.num_pending() << " pending tweet(s)";
+}
+
+bool CampaignEngine::retired(size_t campaign) const {
+  TRICLUST_CHECK_LT(campaign, campaigns_.size());
+  return campaigns_[campaign]->retired;
+}
+
+size_t CampaignEngine::num_active_campaigns() const {
+  size_t active = 0;
+  for (const auto& c : campaigns_) {
+    if (!c->retired) ++active;
+  }
+  return active;
+}
+
 EngineHealthReport CampaignEngine::HealthReport() const {
   EngineHealthReport report;
   report.campaigns.reserve(campaigns_.size());
@@ -201,10 +227,16 @@ EngineHealthReport CampaignEngine::HealthReport() const {
     status.campaign = i;
     status.name = c.name;
     status.health = c.health;
+    status.retired = c.retired;
     status.consecutive_failures = c.consecutive_failures;
     status.last_error = c.last_error;
     status.timestep = c.state.timestep;
     status.pending = c.builder.num_pending();
+    if (c.retired) {
+      ++report.retired;
+      report.campaigns.push_back(std::move(status));
+      continue;
+    }
     switch (c.health) {
       case CampaignHealth::kHealthy:
         ++report.healthy;
@@ -249,8 +281,10 @@ std::vector<CampaignEngine::SnapshotReport> CampaignEngine::Advance(
     const AdvanceOptions& options) {
   std::vector<size_t> targets;
   for (size_t i = 0; i < campaigns_.size(); ++i) {
-    // Quarantined campaigns are out of rotation entirely: their queues
-    // keep accumulating and ReviveCampaign() re-admits them.
+    // Retired campaigns are gone for good; quarantined campaigns are out
+    // of rotation until ReviveCampaign() re-admits them (their queues keep
+    // accumulating).
+    if (campaigns_[i]->retired) continue;
     if (campaigns_[i]->health == CampaignHealth::kQuarantined) continue;
     if (campaigns_[i]->builder.num_pending() > 0 || options.include_idle) {
       targets.push_back(i);

@@ -95,6 +95,8 @@ struct CampaignHealthStatus {
   size_t campaign = 0;
   std::string name;
   CampaignHealth health = CampaignHealth::kHealthy;
+  /// Permanently out of rotation (see RetireCampaign).
+  bool retired = false;
   /// Failures since the last successful fit.
   int consecutive_failures = 0;
   /// The most recent failure (OK when the campaign never failed); kept
@@ -110,6 +112,9 @@ struct EngineHealthReport {
   size_t healthy = 0;
   size_t degraded = 0;
   size_t quarantined = 0;
+  /// Retired campaigns (see RetireCampaign) are listed but not counted
+  /// toward the live tallies above.
+  size_t retired = 0;
   /// One entry per campaign, in campaign-id order.
   std::vector<CampaignHealthStatus> campaigns;
 
@@ -224,8 +229,24 @@ class CampaignEngine {
   /// Re-admits a campaign to Advance() scheduling: health back to
   /// kHealthy, consecutive-failure count cleared. last_error is kept for
   /// the record until the next failure overwrites it. If the underlying
-  /// cause persists, the next fit re-degrades the campaign.
+  /// cause persists, the next fit re-degrades the campaign. Retired
+  /// campaigns stay retired (retirement is permanent).
   void ReviveCampaign(size_t campaign);
+
+  /// Permanently removes a campaign from Advance() rotation (campaign
+  /// churn: an election decided, a product launch wound down). Its id
+  /// stays dense and its name stays registered — ids index evaluator
+  /// timelines and the store manifest — but it never fits again, accepts
+  /// no further Ingest (a CHECK guards the contract), and its final
+  /// stream state remains readable for queries and persistence. Unlike
+  /// quarantine there is no revive.
+  void RetireCampaign(size_t campaign);
+
+  /// Whether the campaign was retired.
+  bool retired(size_t campaign) const;
+
+  /// Campaigns still in rotation (registered minus retired).
+  size_t num_active_campaigns() const;
 
   /// Fleet-wide health snapshot, one entry per campaign in id order. Safe
   /// from the confined caller thread (like every accessor).
@@ -303,6 +324,8 @@ class CampaignEngine {
     CampaignHealth health = CampaignHealth::kHealthy;
     int consecutive_failures = 0;
     Status last_error;
+    /// Permanently out of rotation (campaign churn); never cleared.
+    bool retired = false;
   };
 
   /// Updates one campaign's health after a fit attempt. Runs on the worker

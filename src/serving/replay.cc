@@ -44,6 +44,21 @@ void ReplayDriver::AddStream(size_t campaign, const Corpus& corpus) {
   AddStream(campaign, SplitByDay(corpus));
 }
 
+void ReplayDriver::AddStream(size_t campaign, int num_days,
+                             SnapshotProvider provider) {
+  TRICLUST_CHECK_LT(campaign, engine_->num_campaigns());
+  TRICLUST_CHECK_GE(num_days, 0);
+  TRICLUST_CHECK(provider != nullptr);
+  for (const Stream& s : streams_) {
+    TRICLUST_CHECK(s.campaign != campaign);
+  }
+  Stream stream;
+  stream.campaign = campaign;
+  stream.provider = std::move(provider);
+  stream.provider_days = num_days;
+  streams_.push_back(std::move(stream));
+}
+
 void ReplayDriver::set_snapshot_callback(SnapshotCallback callback) {
   callback_ = std::move(callback);
 }
@@ -53,10 +68,12 @@ void ReplayDriver::AddObserver(SnapshotCallback observer) {
   observers_.push_back(std::move(observer));
 }
 
+void ReplayDriver::set_day_hook(DayHook hook) { day_hook_ = std::move(hook); }
+
 int ReplayDriver::num_days() const {
-  size_t days = 0;
-  for (const Stream& s : streams_) days = std::max(days, s.days.size());
-  return static_cast<int>(days);
+  int days = 0;
+  for (const Stream& s : streams_) days = std::max(days, s.NumDays());
+  return days;
 }
 
 ReplayStats ReplayDriver::Replay(const ReplayOptions& options) {
@@ -84,13 +101,26 @@ ReplayStats ReplayDriver::Replay(const ReplayOptions& options) {
       [&](int day, const std::vector<CampaignEngine::SnapshotReport>& reports,
           ReplayDayStats* day_stats) {
         for (const auto& report : reports) {
+          // The day hook may register campaigns mid-run; grow the
+          // per-campaign rows to match.
+          while (report.campaign >= stats.campaigns.size()) {
+            CampaignReplayStats row;
+            row.campaign = stats.campaigns.size();
+            stats.campaigns.push_back(row);
+          }
           CampaignReplayStats& c = stats.campaigns[report.campaign];
-          if (report.fitted) {
+          if (report.fitted && report.data.num_tweets() > 0) {
             ++day_stats->fits;
             ++c.snapshots;
             c.tweets += report.data.num_tweets();
             c.solve_ms_total += report.solve_ms;
             c.solve_ms_max = std::max(c.solve_ms_max, report.solve_ms);
+          } else if (report.fitted) {
+            // A zero-event day (degenerate stream, or include_idle keeping
+            // an unfed campaign's timestep aligned) still solves a
+            // zero-row snapshot — that is the alignment mechanism, not a
+            // fit: counting it inflated `fits` and per-campaign
+            // `snapshots` by one per campaign per dead day.
           } else if (engine_->num_pending(report.campaign) > 0) {
             // One deferral event per (day, campaign) whose *pending* fit
             // the deadline skipped; its queue is intact, so num_pending
@@ -132,10 +162,17 @@ ReplayStats ReplayDriver::Replay(const ReplayOptions& options) {
       }
     }
 
+    // Campaign churn: the hook may retire campaigns or register + bind new
+    // ones before the day's traffic is released.
+    if (day_hook_) day_hook_(day);
+
     Stopwatch phase_clock;
     for (const Stream& s : streams_) {
-      if (day >= static_cast<int>(s.days.size())) continue;
-      const Snapshot& snap = s.days[day];
+      if (day >= s.NumDays()) continue;
+      if (engine_->retired(s.campaign)) continue;
+      Snapshot pulled;
+      if (s.provider) pulled = s.provider(day);
+      const Snapshot& snap = s.provider ? pulled : s.days[day];
       if (snap.tweet_ids.empty()) continue;
       engine_->Ingest(s.campaign, snap.tweet_ids, snap.last_day);
       day_stats.tweets += snap.tweet_ids.size();
@@ -156,6 +193,9 @@ ReplayStats ReplayDriver::Replay(const ReplayOptions& options) {
   if (options.drain) {
     bool pending = false;
     for (const Stream& s : streams_) {
+      // A retired campaign's leftover queue can never fit; draining would
+      // spin a no-op Advance.
+      if (engine_->retired(s.campaign)) continue;
       pending = pending || engine_->num_pending(s.campaign) > 0;
     }
     if (pending) {

@@ -53,7 +53,10 @@ inline constexpr double kUnscoredMetric =
 /// it eventually batches into), and a campaign with an empty queue that
 /// misses the deadline is NOT an event — there was no fit to defer. The
 /// drain pass runs without a deadline, so the drain day entry only ever
-/// records fits; tests/replay_test.cc pins these semantics.
+/// records fits. `fits` counts snapshots that carried tweets: the
+/// zero-row alignment solve a campaign runs on a zero-event day (empty
+/// snapshot, or include_idle with nothing queued) is neither a fit nor a
+/// deferral. tests/replay_test.cc pins these semantics.
 struct ReplayDayStats {
   int day = 0;
   /// Tweets ingested across all streams this day.
@@ -153,6 +156,22 @@ class ReplayDriver {
   using SnapshotCallback =
       std::function<void(int day, const CampaignEngine::SnapshotReport&)>;
 
+  /// Pull source of a provider-bound stream: returns the Snapshot released
+  /// on `day`. Called once per replay day, in day order — the contract the
+  /// bounded-memory streaming replay relies on (TsvStreamReader yields
+  /// each day-chunk exactly once, so a provider cannot be re-asked for a
+  /// past day).
+  using SnapshotProvider = std::function<Snapshot(int day)>;
+
+  /// Admin hook invoked at the start of each replay day, after the pacing
+  /// wait and before that day's Ingest — where campaign-churn schedules
+  /// retire campaigns (`CampaignEngine::RetireCampaign`) or register and
+  /// bind new ones (`AddCampaign` + `AddStream`) mid-replay. Streams bound
+  /// to retired campaigns stop being fed from that day on. A stream bound
+  /// mid-run is fed from the current day forward; it does not extend the
+  /// day horizon computed when Replay() started.
+  using DayHook = std::function<void(int day)>;
+
   /// `engine` is borrowed and must outlive the driver.
   explicit ReplayDriver(CampaignEngine* engine);
 
@@ -163,6 +182,15 @@ class ReplayDriver {
   /// Convenience: binds the whole corpus split one-snapshot-per-day. The
   /// corpus must be the one the campaign was registered with.
   void AddStream(size_t campaign, const Corpus& corpus);
+
+  /// Binds a pull-based stream of `num_days` days: instead of
+  /// materializing every day's Snapshot up front, the driver calls
+  /// `provider(day)` when — and only when — that day is released. This is
+  /// how a streamed corpus (ReadTsvStream / TsvStreamReader) replays with
+  /// only one day-chunk resident: the day hook pulls the next chunk into
+  /// the corpus, providers slice it per campaign, and the previous day's
+  /// text is released behind it.
+  void AddStream(size_t campaign, int num_days, SnapshotProvider provider);
 
   /// Installs the per-snapshot observer (pass {} to remove). Replaces any
   /// previous set_snapshot_callback; observers added with AddObserver are
@@ -175,6 +203,9 @@ class ReplayDriver {
   /// same run. Observers cannot be removed individually.
   void AddObserver(SnapshotCallback observer);
 
+  /// Installs the per-day admin hook (pass {} to remove). At most one.
+  void set_day_hook(DayHook hook);
+
   /// Number of days Replay() will walk (the longest bound stream).
   int num_days() const;
 
@@ -186,12 +217,21 @@ class ReplayDriver {
   struct Stream {
     size_t campaign = 0;
     std::vector<Snapshot> days;
+    // Pull-based alternative to `days` (exactly one of the two is active;
+    // provider_days is the bound stream length when provider is set).
+    SnapshotProvider provider;
+    int provider_days = 0;
+
+    int NumDays() const {
+      return provider ? provider_days : static_cast<int>(days.size());
+    }
   };
 
   CampaignEngine* engine_;
   std::vector<Stream> streams_;
   SnapshotCallback callback_;
   std::vector<SnapshotCallback> observers_;
+  DayHook day_hook_;
 };
 
 /// Partitions one corpus into `num_streams` author-disjoint topic streams:

@@ -45,6 +45,66 @@ void DocumentVectorizer::Fit(
   fitted_ = true;
 }
 
+void DocumentVectorizer::FitStreamBegin() {
+  stream_phase_ = StreamPhase::kCounting;
+  stream_df_.clear();
+  stream_counted_docs_ = 0;
+  stream_admitted_docs_ = 0;
+  fitted_ = false;
+}
+
+void DocumentVectorizer::FitStreamCount(
+    const std::vector<std::string>& document) {
+  TRICLUST_CHECK(stream_phase_ == StreamPhase::kCounting);
+  // Mirrors the first pass of Fit() exactly: per-document dedup after
+  // stop-word removal.
+  std::unordered_map<std::string, bool> seen;
+  for (const std::string& token : document) {
+    if (options_.remove_stopwords && IsStopWord(token)) continue;
+    if (!seen.emplace(token, true).second) continue;
+    ++stream_df_[token];
+  }
+  ++stream_counted_docs_;
+}
+
+void DocumentVectorizer::FitStreamAdmitBegin() {
+  TRICLUST_CHECK(stream_phase_ == StreamPhase::kCounting);
+  stream_phase_ = StreamPhase::kAdmitting;
+  vocabulary_ = Vocabulary();
+  document_frequency_.clear();
+}
+
+void DocumentVectorizer::FitStreamAdmit(
+    const std::vector<std::string>& document) {
+  TRICLUST_CHECK(stream_phase_ == StreamPhase::kAdmitting);
+  // Mirrors the second pass of Fit(): admission in first-appearance order,
+  // so feature ids match the in-memory fit bit for bit.
+  for (const std::string& token : document) {
+    if (options_.remove_stopwords && IsStopWord(token)) continue;
+    const auto it = stream_df_.find(token);
+    if (it == stream_df_.end() ||
+        it->second < options_.min_document_frequency) {
+      continue;
+    }
+    if (!vocabulary_.Contains(token)) {
+      vocabulary_.GetOrAdd(token);
+      document_frequency_.push_back(it->second);
+    }
+  }
+  ++stream_admitted_docs_;
+}
+
+void DocumentVectorizer::FitStreamFinish() {
+  TRICLUST_CHECK(stream_phase_ == StreamPhase::kAdmitting);
+  // Unequal pass lengths mean the caller re-streamed a different corpus —
+  // the vocabulary would silently diverge from the idf denominators.
+  TRICLUST_CHECK_EQ(stream_counted_docs_, stream_admitted_docs_);
+  num_fit_documents_ = stream_counted_docs_;
+  fitted_ = true;
+  stream_phase_ = StreamPhase::kNone;
+  stream_df_ = {};
+}
+
 double DocumentVectorizer::IdfWeight(size_t feature_id) const {
   const double n = static_cast<double>(num_fit_documents_);
   const double df = static_cast<double>(document_frequency_[feature_id]);

@@ -2,6 +2,7 @@
 #define TRICLUST_SRC_TEXT_VECTORIZER_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/matrix/sparse_matrix.h"
@@ -56,6 +57,27 @@ class DocumentVectorizer {
   SparseMatrix FitTransform(
       const std::vector<std::vector<std::string>>& documents);
 
+  // --- streaming Fit (bounded memory) ---------------------------------------
+  // Two-pass Fit for document sets that do not fit in RAM: feed every
+  // document once to FitStreamCount (the document-frequency pass), then
+  // once more IN THE SAME ORDER to FitStreamAdmit (the vocabulary-admission
+  // pass), then call FitStreamFinish. The learned vocabulary, document
+  // frequencies, document count — and therefore every later Transform — are
+  // identical to Fit() over the same documents; only a token→df hash map
+  // (vocabulary-sized, not corpus-sized) is held between the passes.
+
+  /// Starts the document-frequency pass; discards any previous fit.
+  void FitStreamBegin();
+  /// Folds one document into the document-frequency pass.
+  void FitStreamCount(const std::vector<std::string>& document);
+  /// Ends the df pass and starts the vocabulary-admission pass.
+  void FitStreamAdmitBegin();
+  /// Folds one document into the admission pass (same order as counted).
+  void FitStreamAdmit(const std::vector<std::string>& document);
+  /// Completes the streaming fit. CHECK-fails unless both passes saw the
+  /// same number of documents.
+  void FitStreamFinish();
+
   /// Learned vocabulary (valid after Fit()).
   const Vocabulary& vocabulary() const { return vocabulary_; }
 
@@ -73,6 +95,14 @@ class DocumentVectorizer {
   std::vector<size_t> document_frequency_;
   size_t num_fit_documents_ = 0;
   bool fitted_ = false;
+
+  // Streaming-fit state, live only between FitStreamBegin and
+  // FitStreamFinish.
+  enum class StreamPhase { kNone, kCounting, kAdmitting };
+  StreamPhase stream_phase_ = StreamPhase::kNone;
+  std::unordered_map<std::string, size_t> stream_df_;
+  size_t stream_counted_docs_ = 0;
+  size_t stream_admitted_docs_ = 0;
 };
 
 }  // namespace triclust

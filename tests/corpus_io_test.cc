@@ -6,11 +6,15 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/data/snapshots.h"
 #include "src/data/synthetic.h"
 
 namespace triclust {
@@ -311,6 +315,199 @@ TEST(CorpusIoTest, WriteTsvToPathIsAtomic) {
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded.value().num_tweets(), RichCorpus().num_tweets());
   std::remove(path.c_str());
+}
+
+// --- streaming reader ---------------------------------------------------------
+
+// A corpus whose stream has empty gap days (days 1 and 2 are silent) plus
+// temporal labels and a retweet — the shapes the streaming reader must
+// reproduce exactly.
+Corpus GappyCorpus() {
+  Corpus c;
+  const size_t alice = c.AddUser("alice", Sentiment::kPositive);
+  const size_t bob = c.AddUser("bob", Sentiment::kNegative);
+  c.AddTweet(alice, 0, "yes on 37", Sentiment::kPositive);
+  c.AddTweet(bob, 0, "no on 37", Sentiment::kNegative);
+  c.AddTweet(alice, 3, "tab\there still yes", Sentiment::kNeutral);
+  c.AddTweet(bob, 4, "yes on 37", Sentiment::kPositive, /*retweet_of=*/0);
+  c.SetUserSentimentAt(bob, 3, Sentiment::kPositive);
+  return c;
+}
+
+TEST(TsvStreamReaderTest, YieldsSameCorpusAndDayChunksAsWholeFileRead) {
+  const Corpus original = GappyCorpus();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTsv(original, &out).ok());
+
+  auto reader_or = TsvStreamReader::Open(
+      std::make_unique<std::istringstream>(out.str()), "gappy.tsv");
+  ASSERT_TRUE(reader_or.ok()) << reader_or.status().ToString();
+  auto reader = std::move(reader_or).value();
+  // The preamble already carries every user and annotation.
+  EXPECT_EQ(reader->corpus().num_users(), original.num_users());
+  EXPECT_TRUE(reader->corpus().HasTemporalUserLabels());
+
+  std::vector<TsvDayBatch> batches;
+  TsvDayBatch batch;
+  while (true) {
+    const Result<bool> more = reader->NextDay(&batch);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.value()) break;
+    batches.push_back(batch);
+  }
+
+  // Day chunks are yielded consecutively from 0 — the silent days 1 and 2
+  // appear as empty batches, so replay day indices stay aligned with
+  // ReadTsv + SplitByDay.
+  const std::vector<Snapshot> days = SplitByDay(original);
+  ASSERT_EQ(batches.size(), days.size());
+  for (size_t d = 0; d < days.size(); ++d) {
+    EXPECT_EQ(batches[d].day, static_cast<int>(d));
+    EXPECT_EQ(batches[d].tweet_ids, days[d].tweet_ids) << "day " << d;
+  }
+  // Without ReleaseText the grown corpus equals the whole-file read,
+  // text bytes included.
+  ExpectSameCorpus(reader->TakeCorpus(), original);
+}
+
+TEST(TsvStreamReaderTest, ReadTsvStreamBoundsResidentTextToOneDay) {
+  const Corpus original = GappyCorpus();
+  const std::string path = ::testing::TempDir() + "/corpus_io_stream.tsv";
+  ASSERT_TRUE(WriteTsv(original, path).ok());
+
+  int expected_day = 0;
+  auto streamed = ReadTsvStream(
+      path, [&](int day, const Corpus& c, const std::vector<size_t>& ids) {
+        EXPECT_EQ(day, expected_day++);
+        for (size_t id : ids) {
+          // The current day's text is present for vectorization...
+          EXPECT_EQ(c.tweet(id).text, original.tweet(id).text);
+          // ...while every earlier day's text has been released.
+          for (size_t prior = 0; prior < id; ++prior) {
+            if (c.tweet(prior).day < day) {
+              EXPECT_TRUE(c.tweet(prior).text.empty()) << prior;
+            }
+          }
+        }
+        return Status::OK();
+      });
+  std::remove(path.c_str());
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  EXPECT_EQ(expected_day, original.num_days());
+
+  // The final corpus keeps all metadata but no text.
+  const Corpus& c = streamed.value();
+  ASSERT_EQ(c.num_tweets(), original.num_tweets());
+  for (size_t i = 0; i < c.num_tweets(); ++i) {
+    EXPECT_TRUE(c.tweet(i).text.empty()) << i;
+    EXPECT_EQ(c.tweet(i).user, original.tweet(i).user);
+    EXPECT_EQ(c.tweet(i).day, original.tweet(i).day);
+    EXPECT_EQ(c.tweet(i).label, original.tweet(i).label);
+    EXPECT_EQ(c.tweet(i).retweet_of, original.tweet(i).retweet_of);
+  }
+}
+
+TEST(TsvStreamReaderTest, MalformedChunkDiagnosticsMatchReadTsvByteForByte) {
+  // A malformed row deep in a later day-chunk must be reported with its
+  // absolute file line number — the same "<source>:<line>: <why>"
+  // diagnostic ReadTsv emits for the identical file.
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTsv(GappyCorpus(), &out).ok());
+  std::istringstream split(out.str());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(split, line);) lines.push_back(line);
+  // Corrupt the LAST tweet row (the day-4 chunk).
+  size_t corrupt_line = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (!lines[i].empty() && lines[i][0] == 'T') corrupt_line = i;
+  }
+  ASSERT_GT(corrupt_line, 0u);
+  lines[corrupt_line] = "T\tnot-enough-fields";
+  std::string corrupted;
+  for (const std::string& line : lines) corrupted += line + "\n";
+
+  auto whole = [&] {
+    std::istringstream in(corrupted);
+    return ReadTsv(&in, "bad.tsv").status();
+  }();
+  ASSERT_FALSE(whole.ok());
+  EXPECT_NE(whole.ToString().find(
+                "bad.tsv:" + std::to_string(corrupt_line + 1) + ":"),
+            std::string::npos)
+      << whole.ToString();
+
+  auto reader_or = TsvStreamReader::Open(
+      std::make_unique<std::istringstream>(corrupted), "bad.tsv");
+  ASSERT_TRUE(reader_or.ok()) << reader_or.status().ToString();
+  auto reader = std::move(reader_or).value();
+  TsvDayBatch batch;
+  Status streaming = Status::OK();
+  while (streaming.ok()) {
+    const Result<bool> more = reader->NextDay(&batch);
+    if (!more.ok()) {
+      streaming = more.status();
+      break;
+    }
+    ASSERT_TRUE(more.value()) << "stream ended before the malformed row";
+  }
+  EXPECT_EQ(streaming.ToString(), whole.ToString());
+}
+
+TEST(TsvStreamReaderTest, RejectsNonCanonicalSectionOrder) {
+  // ReadTsv accepts arbitrary row interleavings; the streaming reader
+  // requires WriteTsv's canonical section order and says so.
+  const std::string interleaved =
+      "U\t0\talice\tpos\n"
+      "T\t0\t0\t0\tpos\t-1\thello\n"
+      "U\t1\tbob\tneg\n";
+  {
+    std::istringstream in(interleaved);
+    EXPECT_TRUE(ReadTsv(&in, "mixed.tsv").ok());
+  }
+  auto reader_or = TsvStreamReader::Open(
+      std::make_unique<std::istringstream>(interleaved), "mixed.tsv");
+  ASSERT_TRUE(reader_or.ok());
+  auto reader = std::move(reader_or).value();
+  TsvDayBatch batch;
+  Result<bool> more = reader->NextDay(&batch);
+  ASSERT_FALSE(more.ok());
+  EXPECT_EQ(more.status().code(), StatusCode::kParseError);
+  EXPECT_NE(more.status().ToString().find("mixed.tsv:3:"),
+            std::string::npos)
+      << more.status().ToString();
+  EXPECT_NE(more.status().ToString().find("canonical section order"),
+            std::string::npos)
+      << more.status().ToString();
+}
+
+TEST(TsvStreamReaderTest, RejectsBackwardTweetDays) {
+  const std::string backwards =
+      "U\t0\talice\tpos\n"
+      "T\t0\t0\t2\tpos\t-1\tlater\n"
+      "T\t1\t0\t1\tpos\t-1\tearlier\n";
+  {
+    std::istringstream in(backwards);
+    EXPECT_TRUE(ReadTsv(&in, "back.tsv").ok());
+  }
+  auto reader_or = TsvStreamReader::Open(
+      std::make_unique<std::istringstream>(backwards), "back.tsv");
+  ASSERT_TRUE(reader_or.ok());
+  auto reader = std::move(reader_or).value();
+  TsvDayBatch batch;
+  Status error = Status::OK();
+  while (error.ok()) {
+    const Result<bool> more = reader->NextDay(&batch);
+    if (!more.ok()) {
+      error = more.status();
+      break;
+    }
+    ASSERT_TRUE(more.value()) << "stream ended without rejecting";
+  }
+  EXPECT_EQ(error.code(), StatusCode::kParseError);
+  EXPECT_NE(error.ToString().find("back.tsv:3:"), std::string::npos)
+      << error.ToString();
+  EXPECT_NE(error.ToString().find("goes backwards"), std::string::npos)
+      << error.ToString();
 }
 
 }  // namespace

@@ -4,10 +4,15 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <sstream>
+#include <string>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/data/scenario.h"
 #include "src/data/snapshots.h"
 #include "src/data/stats.h"
 #include "src/eval/metrics.h"
@@ -198,6 +203,91 @@ TEST_P(SeededProperty, SnapshotsPartitionTheCorpusMatrices) {
   EXPECT_EQ(tweet_total, all.num_tweets());
   // Xp rows are per-tweet, so the nnz partitions exactly.
   EXPECT_EQ(xp_nnz_total, all.xp.nnz());
+}
+
+TEST_P(SeededProperty, ScenarioKnobsKeepCorpusDenseAndStreamable) {
+  // The adversarial scenario knobs (spam fleet, topic hijack, dead days,
+  // extreme bursts — src/data/scenario.h composes these) must not break
+  // the corpus contracts everything downstream relies on: dense in-order
+  // ids, valid user references, and non-decreasing tweet days in id order
+  // (the canonical-TSV property the streaming reader requires), even on
+  // burst days an order of magnitude over baseline.
+  SyntheticConfig config;
+  config.seed = GetParam() + 900;
+  config.num_users = 60;
+  config.num_days = 6 + static_cast<int>(GetParam() % 5);
+  config.base_tweets_per_day = 50.0;
+  config.burst_days = {1, 2 + static_cast<int>(GetParam() % 4)};
+  config.burst_multiplier = 8.0;
+  config.dead_days = {0, config.num_days - 1,
+                      static_cast<int>(GetParam() % 3)};
+  config.hijack_day = config.num_days / 2;
+  config.num_spam_users = 20 + GetParam() % 30;
+  config.spam_tweets_per_user_per_day = 1.5;
+  const SyntheticDataset d = GenerateSynthetic(config);
+  ASSERT_GT(d.corpus.num_tweets(), 0u);
+  // The spam fleet extends the user table; ids must stay dense.
+  EXPECT_EQ(d.corpus.num_users(),
+            config.num_users + config.num_spam_users);
+
+  const std::unordered_set<int> dead(config.dead_days.begin(),
+                                     config.dead_days.end());
+  int prev_day = 0;
+  for (size_t id = 0; id < d.corpus.num_tweets(); ++id) {
+    const Tweet& t = d.corpus.tweet(id);
+    EXPECT_EQ(t.id, id);
+    EXPECT_LT(t.user, d.corpus.num_users());
+    // No backward day references: id order is day order, which is what
+    // lets WriteTsv output feed the streaming reader.
+    EXPECT_GE(t.day, prev_day) << "tweet " << id;
+    EXPECT_GE(t.day, 0);
+    EXPECT_LT(t.day, config.num_days);
+    EXPECT_EQ(dead.count(t.day), 0u)
+        << "tweet " << id << " posted on dead day " << t.day;
+    if (t.IsRetweet()) {
+      EXPECT_LT(static_cast<size_t>(t.retweet_of), id);
+    }
+    prev_day = t.day;
+  }
+  // The hijack swaps word roles, not labels: the label vocabulary stays
+  // the standard sentiment set and the lexicon maps only polar classes.
+  for (const auto& [word, sentiment] : d.true_lexicon.Entries()) {
+    EXPECT_FALSE(word.empty());
+    EXPECT_TRUE(sentiment == Sentiment::kPositive ||
+                sentiment == Sentiment::kNegative)
+        << word;
+  }
+}
+
+TEST_P(SeededProperty, ChurnScheduleRoundTripsThroughTsv) {
+  // Churn schedules must survive serialization exactly: same days, same
+  // actions, same campaign ids, launch names byte-for-byte (including
+  // tabs/newlines, which the TSV escaping protects).
+  Rng rng(GetParam() + 1300);
+  std::vector<ChurnEvent> schedule;
+  int day = 0;
+  const size_t events = 1 + rng.UniformInt(1, 6);
+  for (size_t e = 0; e < events; ++e) {
+    day += static_cast<int>(rng.UniformInt(0, 3));
+    ChurnEvent event;
+    event.day = day;
+    if (rng.Bernoulli(0.5)) {
+      event.action = ChurnEvent::Action::kRetire;
+      event.campaign = static_cast<size_t>(rng.UniformInt(0, 7));
+    } else {
+      event.action = ChurnEvent::Action::kLaunch;
+      event.name = "launch\t#" + std::to_string(e) + "\nline2\\end";
+    }
+    schedule.push_back(std::move(event));
+  }
+
+  std::ostringstream os;
+  ASSERT_TRUE(WriteChurnScheduleTsv(schedule, &os).ok());
+  std::istringstream is(os.str());
+  const Result<std::vector<ChurnEvent>> reread =
+      ReadChurnScheduleTsv(&is, "roundtrip");
+  ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+  EXPECT_EQ(reread.value(), schedule);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,

@@ -287,6 +287,79 @@ TEST(ReplayTest, IdleCampaignMissingDeadlineIsNotADeferralEvent) {
   EXPECT_EQ(stats.campaigns[0].snapshots, 1u);
 }
 
+TEST(ReplayTest, ZeroEventDaysUnderDeadlineAreNotDeferralEvents) {
+  // The empty-day extension of the idle-campaign case above: here the
+  // campaign HAS a bound stream, but every one of its days is a
+  // zero-event snapshot — the shape degenerate scenarios (empty_days,
+  // src/data/scenario.h) inject. A zero-event day leaves the queue empty,
+  // so missing the deadline on it defers no fit and must not count.
+  SmallProblem problem = MakeSmallProblem(5);
+  const Corpus& corpus = problem.dataset.corpus;
+  serving::CampaignEngine engine;
+  engine.AddCampaign("fed", FastConfig(), problem.sf0, problem.builder,
+                     &corpus);
+  engine.AddCampaign("dead-days", FastConfig(), problem.sf0, problem.builder,
+                     &corpus);
+  serving::ReplayDriver driver(&engine);
+  driver.AddStream(0, corpus);
+  std::vector<Snapshot> dead(static_cast<size_t>(corpus.num_days()));
+  for (size_t d = 0; d < dead.size(); ++d) {
+    dead[d].first_day = static_cast<int>(d);
+    dead[d].last_day = static_cast<int>(d);
+  }
+  driver.AddStream(1, std::move(dead));
+
+  serving::ReplayOptions options;
+  options.deadline_ms = 1e-9;
+  options.include_idle = true;
+  const serving::ReplayStats stats = driver.Replay(options);
+
+  const size_t days = static_cast<size_t>(corpus.num_days());
+  EXPECT_EQ(stats.campaigns[0].deferred, days);
+  EXPECT_EQ(stats.campaigns[1].deferred, 0u);
+  EXPECT_EQ(stats.total_deferred, days);
+  for (size_t d = 0; d < days; ++d) {
+    EXPECT_LE(stats.days[d].deferred, 1u) << "day " << d;
+  }
+  // The drain catches the fed campaign up; the dead-days campaign never
+  // had anything to fit.
+  EXPECT_EQ(engine.num_pending(0), 0u);
+  EXPECT_EQ(stats.campaigns[0].snapshots, 1u);
+  EXPECT_EQ(stats.campaigns[1].snapshots, 0u);
+}
+
+TEST(ReplayTest, TrailingDeadDaysAfterAFitAreNotDeferralEvents) {
+  // No deadline at all: a campaign fed on day 0 and silent afterwards
+  // keeps advancing (include_idle aligns its timestep) but has no pending
+  // fit on the dead days, so every deferral counter must stay zero and no
+  // drain entry may appear.
+  SmallProblem problem = MakeSmallProblem(5);
+  const Corpus& corpus = problem.dataset.corpus;
+  serving::CampaignEngine engine;
+  engine.AddCampaign("front-loaded", FastConfig(), problem.sf0,
+                     problem.builder, &corpus);
+  serving::ReplayDriver driver(&engine);
+  auto stream = serving::PartitionIntoStreams(corpus, 1)[0];
+  for (size_t d = 1; d < stream.size(); ++d) stream[d].tweet_ids.clear();
+  driver.AddStream(0, std::move(stream));
+
+  serving::ReplayOptions options;
+  options.include_idle = true;
+  const serving::ReplayStats stats = driver.Replay(options);
+
+  const size_t days = static_cast<size_t>(corpus.num_days());
+  ASSERT_EQ(stats.days.size(), days);  // no drain entry
+  for (size_t d = 0; d < days; ++d) {
+    EXPECT_EQ(stats.days[d].deferred, 0u) << "day " << d;
+    EXPECT_EQ(stats.days[d].fits, d == 0 ? 1u : 0u) << "day " << d;
+  }
+  EXPECT_EQ(stats.total_deferred, 0u);
+  EXPECT_EQ(stats.campaigns[0].deferred, 0u);
+  EXPECT_EQ(stats.campaigns[0].snapshots, 1u);
+  // Timestep alignment: the dead days still advanced the campaign clock.
+  EXPECT_EQ(engine.timestep(0), static_cast<int>(days));
+}
+
 TEST(ReplayTest, ObserversSeeEveryReportAlongsideTheCallback) {
   // AddObserver is additive: the legacy snapshot callback and any number
   // of observers (the evaluation harness attaches this way) all see the
