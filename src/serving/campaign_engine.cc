@@ -314,7 +314,11 @@ std::vector<CampaignEngine::SnapshotReport> CampaignEngine::Advance(
       options_.per_fit_threads > 0
           ? std::vector<int>(targets.size(), options_.per_fit_threads)
           : SplitThreadBudget(pool_threads, targets.size());
-  ScopedThreadBudget campaign_tier(ThreadBudget(pool_threads));
+  // Brace-initialized on purpose: with parentheses this whole line is a
+  // *function declaration* (most vexing parse) and no budget is installed
+  // — the campaign tier then silently runs at the ambient width.
+  // -Wvexing-parse guards the regression.
+  ScopedThreadBudget campaign_tier{ThreadBudget(pool_threads)};
   ParallelFor(0, targets.size(), /*grain=*/1, [&](size_t lo, size_t hi) {
     for (size_t t = lo; t < hi; ++t) {
       SnapshotReport& report = reports[t];

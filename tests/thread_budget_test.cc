@@ -71,6 +71,20 @@ TEST(ThreadBudgetTest, WidthResolutionOrder) {
   EXPECT_EQ(CurrentParallelWidth(), 3);
 }
 
+TEST(ThreadBudgetTest, BraceInitializedScopeInstallsNamedBudget) {
+  // Regression: `ScopedThreadBudget scope(ThreadBudget(n));` with a *named*
+  // argument is a function declaration (most vexing parse) — it compiles,
+  // installs nothing, and the caller silently runs at the ambient width.
+  // CampaignEngine::Advance hit exactly this. Brace initialization is the
+  // required spelling; -Wvexing-parse (promoted via -Wall) rejects the
+  // paren form at compile time, and this test pins the runtime behavior.
+  ScopedNumThreads global(3);
+  const int n = 5;
+  ThreadBudget named(n);
+  ScopedThreadBudget scope{named};
+  EXPECT_EQ(CurrentParallelWidth(), 5);
+}
+
 TEST(ThreadBudgetTest, SerialKernelsScopeIsBudgetOfOne) {
   ScopedNumThreads global(4);
   ScopedSerialKernels serial;
@@ -157,7 +171,9 @@ TEST(NestedParallelismTest, ConcurrentSubmittersFromDistinctThreads) {
   // would have serialized (and the old region flag would have broken).
   constexpr size_t kItems = 50000;
   auto work = [](int budget, std::vector<double>* out) {
-    ScopedThreadBudget scope(ThreadBudget(budget));
+    // Braces, not parens: `ScopedThreadBudget s(ThreadBudget(budget));`
+    // declares a function (most vexing parse) and installs nothing.
+    ScopedThreadBudget scope{ThreadBudget(budget)};
     out->assign(kItems, 0.0);
     for (int repeat = 0; repeat < 5; ++repeat) {
       ParallelFor(0, kItems, 64, [&](size_t lo, size_t hi) {
@@ -212,7 +228,7 @@ TEST(AnyWidthBitIdentityTest, ParallelReduceIdenticalAtEveryWidth) {
   };
   std::vector<double> results;
   for (int width : {1, 2, 3, 8}) {
-    ScopedThreadBudget budget(ThreadBudget(width));
+    ScopedThreadBudget scoped_budget{ThreadBudget(width)};
     results.push_back(
         ParallelReduce(0, values.size(), kReduceFlatGrain, chunk_sum));
   }
@@ -237,7 +253,7 @@ TEST(AnyWidthBitIdentityTest, ReductionKernelsIdenticalAtEveryWidth) {
   double frob[2], loss[2];
   int idx = 0;
   for (int width : {1, 4}) {
-    ScopedThreadBudget budget(ThreadBudget(width));
+    ScopedThreadBudget scoped_budget{ThreadBudget(width)};
     atb[idx] = MatMulAtB(u, u);
     frob[idx] = FrobeniusNormSquared(u);
     loss[idx] = FactorizationLossSquared(x, u, v);
