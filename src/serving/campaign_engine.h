@@ -15,6 +15,7 @@
 #include "src/data/matrix_builder.h"
 #include "src/matrix/dense_matrix.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace triclust {
 namespace serving {
@@ -131,7 +132,14 @@ struct AdvanceOptions {
   bool include_idle = false;
 };
 
-class CampaignEngine {
+/// TRICLUST_EXTERNALLY_SYNCHRONIZED: the engine deliberately owns no
+/// mutex. Its safety contract is *confinement* — all public members are
+/// called from one caller thread (see "Thread safety" above), and during
+/// Advance() each sharded fit has exclusive ownership of its one
+/// Campaign. Confinement is a discipline the thread-safety analysis
+/// cannot model, so the marker (a no-op macro) plus the TSan CI job carry
+/// this contract where GUARDED_BY carries the locked ones.
+class TRICLUST_EXTERNALLY_SYNCHRONIZED CampaignEngine {
  public:
   using Options = EngineOptions;
 
@@ -304,12 +312,12 @@ class CampaignEngine {
   /// Everything one campaign owns: ingestion, solver inputs, stream state,
   /// and scratch. unique_ptr keeps addresses stable across registration.
   struct Campaign {
-    Campaign(std::string name, OnlineConfig config, DenseMatrix sf0,
-             MatrixBuilder builder, const Corpus* corpus)
-        : name(std::move(name)),
+    Campaign(std::string campaign_name, OnlineConfig config, DenseMatrix sf0,
+             MatrixBuilder matrix_builder, const Corpus* labeled_corpus)
+        : name(std::move(campaign_name)),
           solver(config, std::move(sf0)),
-          builder(std::move(builder)),
-          corpus(corpus) {}
+          builder(std::move(matrix_builder)),
+          corpus(labeled_corpus) {}
 
     std::string name;
     SnapshotSolver solver;

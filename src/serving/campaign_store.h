@@ -9,6 +9,7 @@
 #include "src/util/fs.h"
 #include "src/util/retry.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace triclust {
 namespace serving {
@@ -88,7 +89,12 @@ struct RestoreReport {
 /// A store directory must have a single writer at a time (Save also
 /// reclaims unreferenced checkpoint/temp files, which would race a
 /// concurrent writer); concurrent Restore() readers are fine.
-class CampaignStore {
+///
+/// The store object holds no mutable state (directory path + options
+/// only), so it needs no internal lock; the synchronized resource is the
+/// *directory*, and the writer-exclusion above is the caller's job —
+/// hence TRICLUST_EXTERNALLY_SYNCHRONIZED rather than a Mutex.
+class TRICLUST_EXTERNALLY_SYNCHRONIZED CampaignStore {
  public:
   /// `directory` is created on the first Save(). The store object itself
   /// holds only the path and options — all state lives on disk, so

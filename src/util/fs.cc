@@ -91,6 +91,13 @@ Result<std::string> PosixFileSystem::ReadFileToString(
   return contents.str();
 }
 
+Result<std::unique_ptr<std::istream>> PosixFileSystem::NewReadStream(
+    const std::string& path) {
+  auto in = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*in) return Status::IoError("cannot open for reading: " + path);
+  return std::unique_ptr<std::istream>(std::move(in));
+}
+
 Status PosixFileSystem::Rename(const std::string& from,
                                const std::string& to) {
   if (std::rename(from.c_str(), to.c_str()) != 0) {
@@ -176,20 +183,23 @@ class FaultInjectionWritableFile : public WritableFile {
     TRICLUST_RETURN_IF_ERROR(fs_->ChargeOp("append", path_));
     bool torn;
     {
-      std::lock_guard<std::mutex> lock(fs_->mu_);
+      MutexLock lock(&fs_->mu_);
       torn = fs_->torn_writes_;
     }
     if (torn) {
       // Short write: a durable-looking prefix lands, the tail never does.
       const std::string prefix = data.substr(0, data.size() / 2);
-      base_->Append(prefix);
-      std::lock_guard<std::mutex> lock(fs_->mu_);
+      // Deliberate discard: the injected IoError below is the outcome the
+      // caller must see; a failure writing the torn prefix only makes the
+      // simulated crash torn at offset 0 instead.
+      (void)base_->Append(prefix);
+      MutexLock lock(&fs_->mu_);
       fs_->files_[path_].length += prefix.size();
       ++fs_->injected_failures_;
       return Status::IoError("injected torn write: " + path_);
     }
     TRICLUST_RETURN_IF_ERROR(base_->Append(data));
-    std::lock_guard<std::mutex> lock(fs_->mu_);
+    MutexLock lock(&fs_->mu_);
     fs_->files_[path_].length += data.size();
     return Status::OK();
   }
@@ -197,7 +207,7 @@ class FaultInjectionWritableFile : public WritableFile {
   Status Sync() override {
     TRICLUST_RETURN_IF_ERROR(fs_->ChargeOp("sync", path_));
     TRICLUST_RETURN_IF_ERROR(base_->Sync());
-    std::lock_guard<std::mutex> lock(fs_->mu_);
+    MutexLock lock(&fs_->mu_);
     auto& state = fs_->files_[path_];
     state.synced_length = state.length;
     state.ever_synced = true;
@@ -221,29 +231,29 @@ FaultInjectionFileSystem::FaultInjectionFileSystem(FileSystem* base)
 FaultInjectionFileSystem::~FaultInjectionFileSystem() = default;
 
 void FaultInjectionFileSystem::FailAt(int op) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fail_at_op_ = op;
   crash_on_fail_ = false;
 }
 
 void FaultInjectionFileSystem::CrashAt(int op) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fail_at_op_ = op;
   crash_on_fail_ = true;
 }
 
 void FaultInjectionFileSystem::SetTransientFailures(int count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   transient_failures_left_ = count;
 }
 
 void FaultInjectionFileSystem::SetTornWrites(bool enabled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   torn_writes_ = enabled;
 }
 
 void FaultInjectionFileSystem::ResetFaults() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   op_counter_ = 0;
   injected_failures_ = 0;
   fail_at_op_ = -1;
@@ -254,18 +264,18 @@ void FaultInjectionFileSystem::ResetFaults() {
 }
 
 int FaultInjectionFileSystem::mutating_ops() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return op_counter_;
 }
 
 int FaultInjectionFileSystem::injected_failures() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return injected_failures_;
 }
 
 Status FaultInjectionFileSystem::ChargeOp(const char* op_name,
                                           const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const int op = op_counter_++;
   if (crashed_) {
     ++injected_failures_;
@@ -276,7 +286,10 @@ Status FaultInjectionFileSystem::ChargeOp(const char* op_name,
     ++injected_failures_;
     if (crash_on_fail_) {
       crashed_ = true;
-      DropUnsyncedDataLocked();  // power loss: the page cache is gone
+      // Deliberate discard: the injected fault below is the caller-visible
+      // outcome; a truncate error while shredding the page cache cannot
+      // make the simulated power loss any more failed.
+      (void)DropUnsyncedDataLocked();  // power loss: the page cache is gone
     }
     return Status::IoError(std::string("injected fault at op ") +
                            std::to_string(op) + ": " + op_name + " " + path);
@@ -291,7 +304,7 @@ Status FaultInjectionFileSystem::ChargeOp(const char* op_name,
 }
 
 Status FaultInjectionFileSystem::DropUnsyncedData() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return DropUnsyncedDataLocked();
 }
 
@@ -302,7 +315,7 @@ Status FaultInjectionFileSystem::DropUnsyncedDataLocked() {
     FileState& state = it->second;
     if (!state.ever_synced) {
       // Created and never fsynced: the file itself may not have survived.
-      base_->Remove(path);  // best effort — it may already be gone
+      (void)base_->Remove(path);  // best effort — it may already be gone
       it = files_.erase(it);
       continue;
     }
@@ -328,7 +341,7 @@ Result<std::unique_ptr<WritableFile>> FaultInjectionFileSystem::NewWritableFile(
   TRICLUST_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
                             base_->NewWritableFile(path));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     files_[path] = FileState{};  // O_TRUNC: previous durability is void
   }
   return std::unique_ptr<WritableFile>(
@@ -340,11 +353,17 @@ Result<std::string> FaultInjectionFileSystem::ReadFileToString(
   return base_->ReadFileToString(path);
 }
 
+Result<std::unique_ptr<std::istream>> FaultInjectionFileSystem::NewReadStream(
+    const std::string& path) {
+  // Read-only probe: passed through uncounted, like ReadFileToString.
+  return base_->NewReadStream(path);
+}
+
 Status FaultInjectionFileSystem::Rename(const std::string& from,
                                         const std::string& to) {
   TRICLUST_RETURN_IF_ERROR(ChargeOp("rename", from));
   TRICLUST_RETURN_IF_ERROR(base_->Rename(from, to));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = files_.find(from);
   if (it != files_.end()) {
     files_[to] = it->second;
@@ -356,7 +375,7 @@ Status FaultInjectionFileSystem::Rename(const std::string& from,
 Status FaultInjectionFileSystem::Remove(const std::string& path) {
   TRICLUST_RETURN_IF_ERROR(ChargeOp("remove", path));
   TRICLUST_RETURN_IF_ERROR(base_->Remove(path));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   files_.erase(path);
   return Status::OK();
 }

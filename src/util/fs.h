@@ -2,13 +2,15 @@
 #define TRICLUST_SRC_UTIL_FS_H_
 
 #include <cstdint>
+#include <istream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace triclust {
 
@@ -58,6 +60,16 @@ class FileSystem {
   /// Reads the entire file into a string.
   virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
 
+  /// Opens `path` for incremental (streaming) reads. The stream is
+  /// positioned at the start of the file; the caller owns it and should
+  /// confine it to one thread. Read-only probe for fault-injection
+  /// purposes (like ReadFileToString). This is the seam behind
+  /// TsvStreamReader's bounded-memory reads — the project-invariant
+  /// linter (tools/lint_invariants.py) forbids opening std::ifstream
+  /// directly outside src/util.
+  virtual Result<std::unique_ptr<std::istream>> NewReadStream(
+      const std::string& path) = 0;
+
   /// Atomically renames `from` to `to` (replacing `to`). Durability of the
   /// directory entry requires a subsequent SyncDirectory().
   virtual Status Rename(const std::string& from, const std::string& to) = 0;
@@ -88,6 +100,8 @@ class PosixFileSystem : public FileSystem {
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override;
   Result<std::string> ReadFileToString(const std::string& path) override;
+  Result<std::unique_ptr<std::istream>> NewReadStream(
+      const std::string& path) override;
   Status Rename(const std::string& from, const std::string& to) override;
   Status Remove(const std::string& path) override;
   Status SyncDirectory(const std::string& path) override;
@@ -137,31 +151,33 @@ class FaultInjectionFileSystem : public FileSystem {
   // --- fault programming ----------------------------------------------------
   /// Mutating op `op` (0-based, counted from the last ResetFaults) and all
   /// later ones fail. -1 disables.
-  void FailAt(int op);
+  void FailAt(int op) TRICLUST_EXCLUDES(mu_);
   /// Like FailAt, but the first failing op also drops all un-fsynced data.
-  void CrashAt(int op);
+  void CrashAt(int op) TRICLUST_EXCLUDES(mu_);
   /// The next `count` mutating ops fail, after which ops succeed again.
-  void SetTransientFailures(int count);
+  void SetTransientFailures(int count) TRICLUST_EXCLUDES(mu_);
   /// When enabled, every Append writes half its payload and then fails.
-  void SetTornWrites(bool enabled);
+  void SetTornWrites(bool enabled) TRICLUST_EXCLUDES(mu_);
   /// Clears all programmed faults and the op counter. Tracked sync state
   /// of live files is kept (it describes the disk, not the faults).
-  void ResetFaults();
+  void ResetFaults() TRICLUST_EXCLUDES(mu_);
 
   /// Applies the power-loss model now: truncate every tracked file to its
   /// last synced length, remove tracked files that were never synced.
-  Status DropUnsyncedData();
+  Status DropUnsyncedData() TRICLUST_EXCLUDES(mu_);
 
   // --- introspection --------------------------------------------------------
   /// Mutating ops attempted since the last ResetFaults (failed ones count).
-  int mutating_ops() const;
+  int mutating_ops() const TRICLUST_EXCLUDES(mu_);
   /// Ops that failed due to an injected fault since the last ResetFaults.
-  int injected_failures() const;
+  int injected_failures() const TRICLUST_EXCLUDES(mu_);
 
   // --- FileSystem -----------------------------------------------------------
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override;
   Result<std::string> ReadFileToString(const std::string& path) override;
+  Result<std::unique_ptr<std::istream>> NewReadStream(
+      const std::string& path) override;
   Status Rename(const std::string& from, const std::string& to) override;
   Status Remove(const std::string& path) override;
   Status SyncDirectory(const std::string& path) override;
@@ -182,20 +198,23 @@ class FaultInjectionFileSystem : public FileSystem {
 
   /// Charges one mutating op against the programmed faults. Returns a
   /// non-OK status when this op must fail; applies the crash model first
-  /// when the failing fault is a crash. Caller must NOT hold mu_.
-  Status ChargeOp(const char* op_name, const std::string& path);
-  Status DropUnsyncedDataLocked();
+  /// when the failing fault is a crash. Caller must NOT hold mu_ (the
+  /// TRICLUST_EXCLUDES annotation makes a self-deadlocking call a
+  /// compile error under clang).
+  Status ChargeOp(const char* op_name, const std::string& path)
+      TRICLUST_EXCLUDES(mu_);
+  Status DropUnsyncedDataLocked() TRICLUST_REQUIRES(mu_);
 
   FileSystem* const base_;
-  mutable std::mutex mu_;
-  int op_counter_ = 0;
-  int injected_failures_ = 0;
-  int fail_at_op_ = -1;
-  bool crash_on_fail_ = false;
-  bool crashed_ = false;
-  int transient_failures_left_ = 0;
-  bool torn_writes_ = false;
-  std::map<std::string, FileState> files_;
+  mutable Mutex mu_;
+  int op_counter_ TRICLUST_GUARDED_BY(mu_) = 0;
+  int injected_failures_ TRICLUST_GUARDED_BY(mu_) = 0;
+  int fail_at_op_ TRICLUST_GUARDED_BY(mu_) = -1;
+  bool crash_on_fail_ TRICLUST_GUARDED_BY(mu_) = false;
+  bool crashed_ TRICLUST_GUARDED_BY(mu_) = false;
+  int transient_failures_left_ TRICLUST_GUARDED_BY(mu_) = 0;
+  bool torn_writes_ TRICLUST_GUARDED_BY(mu_) = false;
+  std::map<std::string, FileState> files_ TRICLUST_GUARDED_BY(mu_);
 };
 
 }  // namespace triclust

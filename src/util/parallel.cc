@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/util/logging.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace triclust {
 namespace {
@@ -60,12 +60,12 @@ class ThreadPool {
     job.helper_slots =
         static_cast<int>(std::min<size_t>(width - 1, num_chunks - 1));
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       GrowWorkersLocked(job.helper_slots);
       job.next = jobs_;
       jobs_ = &job;
     }
-    wake_cv_.notify_all();
+    wake_cv_.SignalAll();
     try {
       RunChunks(job);
     } catch (...) {
@@ -84,6 +84,11 @@ class ThreadPool {
   /// helpers may still join. Chunks are claimed dynamically through
   /// next_chunk; the fixed chunk *layout* is the caller's, so claiming
   /// order never affects results.
+  ///
+  /// helper_slots, active_helpers, and next are guarded by the pool's
+  /// mutex_ (inexpressible as TRICLUST_GUARDED_BY — the analysis cannot
+  /// name a member of the *enclosing* object from a nested struct);
+  /// next_chunk is a lock-free claim counter.
   struct Job {
     const std::function<void(size_t)>* chunk_fn = nullptr;
     size_t num_chunks = 0;
@@ -105,7 +110,7 @@ class ThreadPool {
     return cap;
   }
 
-  void GrowWorkersLocked(int helpers_wanted) {
+  void GrowWorkersLocked(int helpers_wanted) TRICLUST_REQUIRES(mutex_) {
     const int deficit = helpers_wanted - idle_workers_;
     const int room = WorkerCap() - static_cast<int>(workers_.size());
     const int spawn = std::min(deficit, room);
@@ -114,7 +119,7 @@ class ThreadPool {
     }
   }
 
-  Job* ClaimableJobLocked() {
+  Job* ClaimableJobLocked() TRICLUST_REQUIRES(mutex_) {
     for (Job* job = jobs_; job != nullptr; job = job->next) {
       if (job->helper_slots > 0 &&
           job->next_chunk.load(std::memory_order_relaxed) < job->num_chunks) {
@@ -154,41 +159,51 @@ class ThreadPool {
   /// Unlinks `job` once no helper can touch it again. Helpers only claim
   /// linked jobs under the mutex, so after this returns the job frame is
   /// safe to unwind.
-  void Retire(Job* job) {
-    std::unique_lock<std::mutex> lock(mutex_);
+  void Retire(Job* job) TRICLUST_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     job->helper_slots = 0;  // no new joiners
-    done_cv_.wait(lock, [&] { return job->active_helpers == 0; });
+    while (job->active_helpers != 0) done_cv_.Wait(&mutex_);
     Job** link = &jobs_;
     while (*link != job) link = &(*link)->next;
     *link = job->next;
   }
 
   void WorkerMain() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    for (;;) {
-      Job* job = ClaimableJobLocked();
+    for (;;) WorkerStep();
+  }
+
+  /// One claim-run-report cycle of a pool worker: wait for a claimable
+  /// job (returning on a wakeup with none, so WorkerMain re-enters), run
+  /// its chunks unlocked, and report completion. Split out of WorkerMain
+  /// so every lock acquisition is a scoped region the thread-safety
+  /// analysis can follow — an infinite loop holding the lock across
+  /// iterations is beyond it.
+  void WorkerStep() TRICLUST_EXCLUDES(mutex_) {
+    Job* job = nullptr;
+    {
+      MutexLock lock(&mutex_);
+      job = ClaimableJobLocked();
       if (job == nullptr) {
         ++idle_workers_;
-        wake_cv_.wait(lock);
+        wake_cv_.Wait(&mutex_);
         --idle_workers_;
-        continue;
+        return;
       }
       --job->helper_slots;
       ++job->active_helpers;
-      lock.unlock();
-      RunChunks(*job);
-      lock.lock();
-      if (--job->active_helpers == 0) done_cv_.notify_all();
     }
+    RunChunks(*job);
+    MutexLock lock(&mutex_);
+    if (--job->active_helpers == 0) done_cv_.SignalAll();
   }
 
-  std::mutex mutex_;
-  std::condition_variable wake_cv_;
-  std::condition_variable done_cv_;
-  std::vector<std::thread> workers_;
-  int idle_workers_ = 0;
+  Mutex mutex_;
+  CondVar wake_cv_;
+  CondVar done_cv_;
+  std::vector<std::thread> workers_ TRICLUST_GUARDED_BY(mutex_);
+  int idle_workers_ TRICLUST_GUARDED_BY(mutex_) = 0;
   /// Intrusive list of in-flight jobs (stack frames of their submitters).
-  Job* jobs_ = nullptr;
+  Job* jobs_ TRICLUST_GUARDED_BY(mutex_) = nullptr;
 };
 
 }  // namespace

@@ -1,0 +1,90 @@
+#ifndef TRICLUST_SRC_UTIL_THREAD_ANNOTATIONS_H_
+#define TRICLUST_SRC_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attribute macros.
+///
+/// These wrap the capability attributes understood by clang's
+/// -Wthread-safety analysis (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html)
+/// so that lock-protected state can declare its lock at compile time:
+///
+///   Mutex mu_;
+///   int counter_ TRICLUST_GUARDED_BY(mu_);
+///
+/// Under clang the analysis then rejects, at compile time, any access to
+/// `counter_` on a path that does not hold `mu_` — the race TSan would
+/// need a lucky interleaving to catch never builds. Under compilers
+/// without the analysis (GCC) every macro expands to nothing, so the
+/// annotations are free documentation.
+///
+/// The CI `static-analysis` job builds the tree with clang and
+/// `-Werror=thread-safety` (CMake option TRICLUST_THREAD_SAFETY), and
+/// tools/check_negative_compile.py proves the analysis actually fires by
+/// compiling a seeded violation. Annotation conventions are documented in
+/// docs/ARCHITECTURE.md ("Static analysis & contracts").
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define TRICLUST_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef TRICLUST_THREAD_ANNOTATION_
+#define TRICLUST_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a capability (lockable). Applied to Mutex.
+#define TRICLUST_CAPABILITY(x) TRICLUST_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor. Applied to MutexLock.
+#define TRICLUST_SCOPED_CAPABILITY TRICLUST_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define TRICLUST_GUARDED_BY(x) TRICLUST_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex (the
+/// pointer itself may be read freely).
+#define TRICLUST_PT_GUARDED_BY(x) TRICLUST_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the listed mutexes to be held by the caller.
+#define TRICLUST_REQUIRES(...) \
+  TRICLUST_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed mutexes and does not release them.
+#define TRICLUST_ACQUIRE(...) \
+  TRICLUST_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed mutexes (held on entry).
+#define TRICLUST_RELEASE(...) \
+  TRICLUST_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the mutex only when it returns the given value.
+#define TRICLUST_TRY_ACQUIRE(...) \
+  TRICLUST_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed mutexes (the function acquires them
+/// itself; holding one on entry would self-deadlock).
+#define TRICLUST_EXCLUDES(...) \
+  TRICLUST_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (teaches the analysis a
+/// fact it cannot derive).
+#define TRICLUST_ASSERT_CAPABILITY(x) \
+  TRICLUST_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the given mutex.
+#define TRICLUST_RETURN_CAPABILITY(x) \
+  TRICLUST_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with a
+/// comment explaining why the locking is correct but inexpressible.
+#define TRICLUST_NO_THREAD_SAFETY_ANALYSIS \
+  TRICLUST_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+/// Documentation-only marker for state with no internal lock whose safety
+/// contract is "the owner synchronizes all access externally" — e.g.
+/// CampaignEngine, which is confined to one caller thread. The analysis
+/// cannot check confinement, so this expands to nothing under every
+/// compiler; it exists to make the contract greppable and uniform.
+#define TRICLUST_EXTERNALLY_SYNCHRONIZED
+
+#endif  // TRICLUST_SRC_UTIL_THREAD_ANNOTATIONS_H_

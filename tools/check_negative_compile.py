@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Negative-compile check for the thread-safety annotations.
+
+Proves the Clang Thread Safety Analysis actually bites on this build:
+
+  1. compiles tools/ts_fixtures/thread_safety_clean.cc with
+     -Wthread-safety -Werror=thread-safety  -> must SUCCEED
+  2. compiles tools/ts_fixtures/thread_safety_bad.cc (a seeded
+     guarded-write-without-lock violation) with the same flags
+     -> must FAIL, with a diagnostic naming -Wthread-safety
+
+Compilers without the analysis (GCC) cannot run the check; the script
+then exits 77, which ctest maps to SKIPPED via SKIP_RETURN_CODE. The
+probe is behavioral, not name-based: a compiler that accepts the flags
+but silently analyzes nothing is caught by step 2.
+
+Usage:
+  check_negative_compile.py --compiler <c++ compiler> --repo-root <dir>
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+SKIP = 77
+FLAGS = ["-std=c++17", "-Wthread-safety", "-Werror=thread-safety",
+         "-fsyntax-only"]
+
+
+def compile_fixture(compiler, repo_root, fixture, out_dir):
+    """Runs the compiler on one fixture; returns (returncode, output)."""
+    cmd = [compiler, *FLAGS, "-I", repo_root,
+           os.path.join(repo_root, "tools", "ts_fixtures", fixture)]
+    proc = subprocess.run(cmd, cwd=out_dir, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    return proc.returncode, proc.stdout
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compiler", default=os.environ.get("CXX", "c++"))
+    parser.add_argument("--repo-root",
+                        default=os.path.dirname(
+                            os.path.dirname(os.path.abspath(__file__))))
+    args = parser.parse_args()
+
+    if shutil.which(args.compiler) is None:
+        print(f"SKIP: compiler not found: {args.compiler}")
+        return SKIP
+
+    with tempfile.TemporaryDirectory() as out_dir:
+        # Probe: does this compiler support the analysis at all? GCC
+        # rejects -Wthread-safety as an unknown warning under -Werror,
+        # failing the *clean* fixture — that is a skip, not a failure.
+        rc, out = compile_fixture(args.compiler, args.repo_root,
+                                  "thread_safety_clean.cc", out_dir)
+        if rc != 0:
+            if "thread-safety" in out or "unrecognized" in out.lower():
+                print(f"SKIP: {args.compiler} does not support "
+                      "-Wthread-safety (clang required):")
+                print(out)
+                return SKIP
+            print("FAIL: clean fixture did not compile — the annotations "
+                  "in src/util are broken:")
+            print(out)
+            return 1
+
+        # The seeded violation must be rejected.
+        rc, out = compile_fixture(args.compiler, args.repo_root,
+                                  "thread_safety_bad.cc", out_dir)
+        if rc == 0:
+            print("FAIL: the seeded thread-safety violation in "
+                  "thread_safety_bad.cc COMPILED — the analysis is not "
+                  "firing (flags dropped, or the compiler silently "
+                  "ignores the annotations).")
+            return 1
+        if "thread safety" not in out and "-Wthread-safety" not in out:
+            print("FAIL: bad fixture failed to compile, but not with a "
+                  "thread-safety diagnostic:")
+            print(out)
+            return 1
+
+    print("OK: clean fixture compiles; seeded violation rejected by "
+          "-Werror=thread-safety.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

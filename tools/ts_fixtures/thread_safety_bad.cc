@@ -1,0 +1,35 @@
+// Seeded thread-safety violation: Increment() writes the guarded counter
+// WITHOUT holding its declared mutex — the exact shape of bug the
+// annotations exist to reject. tools/check_negative_compile.py asserts
+// that compiling this TU with -Wthread-safety -Werror=thread-safety
+// FAILS (and that the diagnostic names the analysis); if it ever
+// compiles, the ratchet has gone soft and the check errors out.
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class GuardedCounter {
+ public:
+  void Increment() TRICLUST_EXCLUDES(mu_) {
+    ++value_;  // BUG: guarded write, no lock held
+  }
+
+  int value() const TRICLUST_EXCLUDES(mu_) {
+    triclust::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  mutable triclust::Mutex mu_;
+  int value_ TRICLUST_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  GuardedCounter counter;
+  counter.Increment();
+  return counter.value() == 1 ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+// Clean thread-safety fixture: every access to the guarded counter holds
+// the declared mutex. Must compile warning-free under
+// -Wthread-safety -Werror=thread-safety; tools/check_negative_compile.py
+// uses it both as the control for the seeded violation in
+// thread_safety_bad.cc and as a probe for whether the active compiler
+// carries the analysis at all.
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class GuardedCounter {
+ public:
+  void Increment() TRICLUST_EXCLUDES(mu_) {
+    triclust::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int value() const TRICLUST_EXCLUDES(mu_) {
+    triclust::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  mutable triclust::Mutex mu_;
+  int value_ TRICLUST_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  GuardedCounter counter;
+  counter.Increment();
+  return counter.value() == 1 ? 0 : 1;
+}
