@@ -103,7 +103,7 @@ serving::ReplayStats RunReplay(const LoadedCorpus& data, size_t num_streams,
       serving::PartitionIntoStreams(data.corpus, num_streams);
   for (size_t s = 0; s < streams.size(); ++s) {
     engine.AddCampaign("topic-" + std::to_string(s), ReplayConfig(),
-                       data.sf0, data.builder, &data.corpus);
+                       data.sf0, data.builder, &data.corpus).ValueOrDie();
   }
   serving::ReplayDriver driver(&engine);
   for (size_t s = 0; s < streams.size(); ++s) {
@@ -187,7 +187,7 @@ void RunEvalSweep(const LoadedCorpus& data) {
         serving::PartitionIntoStreams(data.corpus, num_streams);
     for (size_t s = 0; s < streams.size(); ++s) {
       engine.AddCampaign("topic-" + std::to_string(s), ReplayConfig(),
-                         data.sf0, data.builder, &data.corpus);
+                         data.sf0, data.builder, &data.corpus).ValueOrDie();
     }
     serving::ReplayDriver driver(&engine);
     for (size_t s = 0; s < streams.size(); ++s) {

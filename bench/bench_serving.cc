@@ -75,7 +75,7 @@ double RunFleet(std::vector<CampaignData>& campaigns, int num_threads,
   for (CampaignData& c : campaigns) {
     engine.AddCampaign("campaign-" + std::to_string(engine.num_campaigns()),
                        ServingConfig(flags), c.sf0, c.builder,
-                       &c.dataset.corpus);
+                       &c.dataset.corpus).ValueOrDie();
   }
   size_t max_days = 0;
   for (const CampaignData& c : campaigns) {

@@ -36,9 +36,11 @@ void Run() {
   auto top8 = [](const std::unordered_map<std::string, size_t>& counts) {
     std::vector<std::pair<std::string, size_t>> sorted(counts.begin(),
                                                        counts.end());
-    std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
-      return a.second != b.second ? a.second > b.second : a.first < b.first;
-    });
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& lhs, const auto& rhs) {
+                return lhs.second != rhs.second ? lhs.second > rhs.second
+                                                : lhs.first < rhs.first;
+              });
     if (sorted.size() > 8) sorted.resize(8);
     return sorted;
   };

@@ -403,7 +403,7 @@ int RunStreamingReplay(const CliOptions& options) {
   const size_t num_streams = options.campaigns;
   for (size_t s = 0; s < num_streams; ++s) {
     engine.AddCampaign("topic-" + std::to_string(s), config, sf0, builder,
-                       &corpus);
+                       &corpus).ValueOrDie();
   }
 
   serving::ReplayDriver driver(&engine);
@@ -490,7 +490,7 @@ int RunStreamingReplay(const CliOptions& options) {
   serving::CampaignEngine whole_engine(engine_options);
   for (size_t s = 0; s < num_streams; ++s) {
     whole_engine.AddCampaign("topic-" + std::to_string(s), config, whole_sf0,
-                             whole_builder, &whole);
+                             whole_builder, &whole).ValueOrDie();
   }
   serving::ReplayDriver whole_driver(&whole_engine);
   const auto whole_streams = serving::PartitionIntoStreams(whole, num_streams);
@@ -600,7 +600,7 @@ int RunReplay(const CliOptions& options) {
   serving::CampaignEngine engine(engine_options);
   for (size_t s = 0; s < streams.size(); ++s) {
     engine.AddCampaign("topic-" + std::to_string(s), config, sf0, builder,
-                       &corpus);
+                       &corpus).ValueOrDie();
   }
 
   serving::ReplayDriver driver(&engine);

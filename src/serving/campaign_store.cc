@@ -228,7 +228,9 @@ Status CampaignStore::Save(const CampaignEngine& engine) const {
           }
         }
       }
-      if (reclaim) fs()->Remove(directory_ + "/" + name);
+      // Deliberate discard: reclamation is best effort — a stale file that
+      // survives this pass is retried by the next Save.
+      if (reclaim) (void)fs()->Remove(directory_ + "/" + name);
     }
   }
   return Status::OK();

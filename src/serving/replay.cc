@@ -37,7 +37,10 @@ void ReplayDriver::AddStream(size_t campaign, std::vector<Snapshot> days) {
   for (const Stream& s : streams_) {
     TRICLUST_CHECK(s.campaign != campaign);
   }
-  streams_.push_back({campaign, std::move(days)});
+  Stream stream;
+  stream.campaign = campaign;
+  stream.days = std::move(days);
+  streams_.push_back(std::move(stream));
 }
 
 void ReplayDriver::AddStream(size_t campaign, const Corpus& corpus) {

@@ -40,7 +40,7 @@ Status WriteBufferAtomically(FileSystem* fs, const std::string& path,
   }
   if (status.ok()) status = fs->Rename(temp_path, path);
   if (!status.ok()) {
-    fs->Remove(temp_path);  // best effort; next Save reclaims stragglers
+    (void)fs->Remove(temp_path);  // best effort; next Save reclaims stragglers
     return status;
   }
   // Make the rename itself durable (directory entry update). Past this

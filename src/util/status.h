@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "src/util/logging.h"
+
 namespace triclust {
 
 /// Error category for a failed operation. Mirrors the Status idiom used by
@@ -29,7 +31,14 @@ const char* StatusCodeToString(StatusCode code);
 
 /// Outcome of a fallible operation: a code plus an explanatory message.
 /// A default-constructed Status is OK. Statuses are cheap to copy.
-class Status {
+///
+/// [[nodiscard]] on the class makes *every* function returning a Status
+/// by value warn (error under -Werror / the CI builds) when the call
+/// site drops the result — an unchecked save or close is exactly how
+/// silent data loss ships. A deliberate discard must be spelled
+/// `(void)expr;` with a comment saying why ignoring the error is
+/// correct there.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -86,9 +95,10 @@ class Status {
 
 /// Either a value of type T or an error Status. Modeled after
 /// arrow::Result. Accessing the value of an errored Result aborts, so check
-/// ok() (or use ValueOr) first.
+/// ok() (or use ValueOr) first. [[nodiscard]] as with Status: dropping a
+/// Result discards the error AND the value, which is never intentional.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the common success path).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -111,7 +121,28 @@ class Result {
     return ok() ? *value_ : std::move(fallback);
   }
 
+  /// The contained value; aborts with the error on failure. For callers
+  /// with no recovery path (tests, benches, examples) — using it both
+  /// satisfies [[nodiscard]] and turns a silently-ignored error into a
+  /// loud one. Library code should propagate the Status instead.
+  T& ValueOrDie() & {
+    DieIfError();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(*value_);
+  }
+
  private:
+  void DieIfError() const {
+    if (!ok()) {
+      internal_logging::FatalLogMessage(__FILE__, __LINE__,
+                                        "Result::ValueOrDie on error")
+          << ": " << status_.ToString();
+    }
+  }
+
   std::optional<T> value_;
   Status status_ = Status::Internal("result holds no value");
 };

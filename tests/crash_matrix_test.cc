@@ -63,7 +63,9 @@ std::string FreshDir(const std::string& name) {
     const Result<std::vector<std::string>> listing = fs->ListDirectory(dir);
     if (listing.ok()) {
       for (const std::string& entry : listing.value()) {
-        fs->Remove(dir + "/" + entry);
+        // Deliberate discard: best-effort scratch-dir cleanup; a leftover
+        // file only wastes temp space.
+        (void)fs->Remove(dir + "/" + entry);
       }
     }
   }

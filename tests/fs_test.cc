@@ -151,8 +151,8 @@ TEST(PosixFileSystemTest, WriteReadRenameRemoveRoundTrip) {
   FileSystem* fs = GetDefaultFileSystem();
   const std::string path = TempPath("posix_fs_roundtrip");
   const std::string renamed = TempPath("posix_fs_roundtrip_renamed");
-  fs->Remove(path);
-  fs->Remove(renamed);
+  (void)fs->Remove(path);  // cleanup; may not exist
+  (void)fs->Remove(renamed);  // cleanup; may not exist
 
   ASSERT_TRUE(WriteWholeFile(fs, path, "hello\nworld\n").ok());
   ASSERT_TRUE(fs->Exists(path));
@@ -268,8 +268,8 @@ TEST(FaultInjectionTest, CrashDropsUnsyncedDataKeepsSynced) {
   EXPECT_EQ(fs.ReadFileToString(unsynced_tail).ValueOr("?"), "prefix-");
   EXPECT_FALSE(fs.Exists(never_synced));
 
-  fs.Remove(synced);
-  fs.Remove(unsynced_tail);
+  (void)fs.Remove(synced);  // cleanup; may not exist
+  (void)fs.Remove(unsynced_tail);  // cleanup; may not exist
 }
 
 TEST(FaultInjectionTest, CrashAtFailsOpAndAppliesPowerLossModel) {
@@ -374,7 +374,7 @@ TEST(AtomicWriteFaultTest, FailAtEveryOpNeverLeavesAPartialDestination) {
   const std::string path = TempPath("atomic_fail_matrix");
   const std::string old_contents = "old complete contents\n";
   const std::string new_contents = "new complete contents, longer\n";
-  posix.Remove(path);
+  (void)posix.Remove(path);  // cleanup; may not exist
   ASSERT_TRUE(WriteGreeting(&posix, path, old_contents).ok());
 
   FaultInjectionFileSystem fs(&posix);
@@ -420,13 +420,13 @@ TEST(AtomicWriteFaultTest, TornWriteLeavesDestinationUntouchedAndNoTemp) {
   Result<std::vector<std::string>> listing = fs.ListDirectory(dir);
   ASSERT_TRUE(listing.ok());
   EXPECT_EQ(listing.value(), std::vector<std::string>{"dest"});
-  posix.Remove(path);
+  (void)posix.Remove(path);  // cleanup; may not exist
 }
 
 TEST(AtomicWriteFaultTest, TransientFailuresSucceedUnderRetryPolicy) {
   PosixFileSystem posix;
   const std::string path = TempPath("atomic_transient");
-  posix.Remove(path);
+  (void)posix.Remove(path);  // cleanup; may not exist
   FaultInjectionFileSystem fs(&posix);
   fs.SetTransientFailures(2);  // first two whole-write attempts die early
 

@@ -302,8 +302,8 @@ TEST_P(KernelEquivalenceTest, MultiplicativeUpdateEdgeCases) {
 
 INSTANTIATE_TEST_SUITE_P(AllModes, KernelEquivalenceTest,
                          ::testing::ValuesIn(kModes),
-                         [](const ::testing::TestParamInfo<ModeCase>& info) {
-                           return std::string(info.param.name);
+                         [](const ::testing::TestParamInfo<ModeCase>& param) {
+                           return std::string(param.param.name);
                          });
 
 /// The end-to-end contract: a full offline fit under the default kAuto

@@ -72,7 +72,7 @@ TEST(ReplayTest, MatchesDirectPerDaySolveBitwise) {
   serving::CampaignEngine engine;
   for (size_t s = 0; s < streams.size(); ++s) {
     engine.AddCampaign("topic-" + std::to_string(s), FastConfig(),
-                       problem.sf0, problem.builder, &corpus);
+                       problem.sf0, problem.builder, &corpus).ValueOrDie();
   }
   serving::ReplayDriver driver(&engine);
   for (size_t s = 0; s < streams.size(); ++s) {
@@ -123,7 +123,7 @@ TEST(ReplayTest, TsvLoadedCorpusReplaysIdenticallyToInMemoryCorpus) {
     MatrixBuilder builder;
     builder.Fit(corpus);
     serving::CampaignEngine engine;
-    engine.AddCampaign("c0", FastConfig(), problem.sf0, builder, &corpus);
+    engine.AddCampaign("c0", FastConfig(), problem.sf0, builder, &corpus).ValueOrDie();
     serving::ReplayDriver driver(&engine);
     driver.AddStream(0, corpus);
     std::vector<TriClusterResult> results;
@@ -150,7 +150,7 @@ TEST(ReplayTest, DeadlineDefersAndDrainCatchesUp) {
   const Corpus& corpus = problem.dataset.corpus;
   serving::CampaignEngine engine;
   engine.AddCampaign("c0", FastConfig(), problem.sf0, problem.builder,
-                     &corpus);
+                     &corpus).ValueOrDie();
   serving::ReplayDriver driver(&engine);
   driver.AddStream(0, corpus);
 
@@ -179,7 +179,7 @@ TEST(ReplayTest, SpeedupIgnoredWhenPacingDisabled) {
   const Corpus& corpus = problem.dataset.corpus;
   serving::CampaignEngine engine;
   engine.AddCampaign("c0", FastConfig(), problem.sf0, problem.builder,
-                     &corpus);
+                     &corpus).ValueOrDie();
   serving::ReplayDriver driver(&engine);
   driver.AddStream(0, corpus);
 
@@ -197,7 +197,7 @@ TEST(ReplayDeathTest, PacedReplayStillRejectsNonPositiveSpeedup) {
   const Corpus& corpus = problem.dataset.corpus;
   serving::CampaignEngine engine;
   engine.AddCampaign("c0", FastConfig(), problem.sf0, problem.builder,
-                     &corpus);
+                     &corpus).ValueOrDie();
   serving::ReplayDriver driver(&engine);
   driver.AddStream(0, corpus);
 
@@ -217,7 +217,7 @@ TEST(ReplayTest, DeferralEventAccountingAcrossDrain) {
   const Corpus& corpus = problem.dataset.corpus;
   serving::CampaignEngine engine;
   engine.AddCampaign("c0", FastConfig(), problem.sf0, problem.builder,
-                     &corpus);
+                     &corpus).ValueOrDie();
   serving::ReplayDriver driver(&engine);
   driver.AddStream(0, corpus);
 
@@ -263,9 +263,9 @@ TEST(ReplayTest, IdleCampaignMissingDeadlineIsNotADeferralEvent) {
   const Corpus& corpus = problem.dataset.corpus;
   serving::CampaignEngine engine;
   engine.AddCampaign("fed", FastConfig(), problem.sf0, problem.builder,
-                     &corpus);
+                     &corpus).ValueOrDie();
   engine.AddCampaign("idle", FastConfig(), problem.sf0, problem.builder,
-                     &corpus);
+                     &corpus).ValueOrDie();
   serving::ReplayDriver driver(&engine);
   driver.AddStream(0, corpus);  // campaign 1 never receives tweets
 
@@ -297,9 +297,9 @@ TEST(ReplayTest, ZeroEventDaysUnderDeadlineAreNotDeferralEvents) {
   const Corpus& corpus = problem.dataset.corpus;
   serving::CampaignEngine engine;
   engine.AddCampaign("fed", FastConfig(), problem.sf0, problem.builder,
-                     &corpus);
+                     &corpus).ValueOrDie();
   engine.AddCampaign("dead-days", FastConfig(), problem.sf0, problem.builder,
-                     &corpus);
+                     &corpus).ValueOrDie();
   serving::ReplayDriver driver(&engine);
   driver.AddStream(0, corpus);
   std::vector<Snapshot> dead(static_cast<size_t>(corpus.num_days()));
@@ -337,7 +337,7 @@ TEST(ReplayTest, TrailingDeadDaysAfterAFitAreNotDeferralEvents) {
   const Corpus& corpus = problem.dataset.corpus;
   serving::CampaignEngine engine;
   engine.AddCampaign("front-loaded", FastConfig(), problem.sf0,
-                     problem.builder, &corpus);
+                     problem.builder, &corpus).ValueOrDie();
   serving::ReplayDriver driver(&engine);
   auto stream = serving::PartitionIntoStreams(corpus, 1)[0];
   for (size_t d = 1; d < stream.size(); ++d) stream[d].tweet_ids.clear();
@@ -368,7 +368,7 @@ TEST(ReplayTest, ObserversSeeEveryReportAlongsideTheCallback) {
   const Corpus& corpus = problem.dataset.corpus;
   serving::CampaignEngine engine;
   engine.AddCampaign("c0", FastConfig(), problem.sf0, problem.builder,
-                     &corpus);
+                     &corpus).ValueOrDie();
   serving::ReplayDriver driver(&engine);
   driver.AddStream(0, corpus);
 
@@ -404,7 +404,7 @@ TEST(ReplayTest, PacedReplayRespectsReleaseSchedule) {
   const Corpus& corpus = problem.dataset.corpus;
   serving::CampaignEngine engine;
   engine.AddCampaign("c0", FastConfig(), problem.sf0, problem.builder,
-                     &corpus);
+                     &corpus).ValueOrDie();
   serving::ReplayDriver driver(&engine);
   driver.AddStream(0, corpus);
 
@@ -425,7 +425,7 @@ TEST(ReplayTest, MaxDaysTruncatesTheRun) {
   const Corpus& corpus = problem.dataset.corpus;
   serving::CampaignEngine engine;
   engine.AddCampaign("c0", FastConfig(), problem.sf0, problem.builder,
-                     &corpus);
+                     &corpus).ValueOrDie();
   serving::ReplayDriver driver(&engine);
   driver.AddStream(0, corpus);
   ASSERT_GT(driver.num_days(), 2);

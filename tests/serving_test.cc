@@ -177,7 +177,7 @@ TEST(CampaignEngineTest, FourCampaignsMatchFourStandaloneClusterers) {
   for (size_t i = 0; i < fixtures.size(); ++i) {
     engine.AddCampaign("campaign-" + std::to_string(i), FastConfig(),
                        fixtures[i].problem.sf0, fixtures[i].problem.builder,
-                       &fixtures[i].problem.dataset.corpus);
+                       &fixtures[i].problem.dataset.corpus).ValueOrDie();
   }
 
   size_t max_days = 0;
@@ -226,7 +226,7 @@ std::vector<TriClusterResult> RunBudgetFleet(int num_threads,
   for (size_t i = 0; i < fixtures.size(); ++i) {
     engine.AddCampaign("c" + std::to_string(i), FastConfig(),
                        fixtures[i].problem.sf0, fixtures[i].problem.builder,
-                       &fixtures[i].problem.dataset.corpus);
+                       &fixtures[i].problem.dataset.corpus).ValueOrDie();
   }
   std::vector<TriClusterResult> results;
   for (size_t day = 0; day < 3; ++day) {
@@ -319,7 +319,7 @@ TEST(CampaignEngineTest, DeadlineDefersFitsAndQueueSurvives) {
   Fixture f = MakeFixture(5);
   serving::CampaignEngine engine;
   engine.AddCampaign("c0", FastConfig(), f.problem.sf0, f.problem.builder,
-                     &f.problem.dataset.corpus);
+                     &f.problem.dataset.corpus).ValueOrDie();
 
   engine.Ingest(0, f.days[0].tweet_ids, 0);
   const size_t pending = engine.num_pending(0);
@@ -372,7 +372,7 @@ TEST(CampaignStoreTest, SaveRestoreRoundTripContinuesBitIdentically) {
       engine->AddCampaign("campaign-" + std::to_string(i), FastConfig(),
                           fixtures[i].problem.sf0,
                           fixtures[i].problem.builder,
-                          &fixtures[i].problem.dataset.corpus);
+                          &fixtures[i].problem.dataset.corpus).ValueOrDie();
     }
   };
   auto ingest_day = [&](serving::CampaignEngine* engine, size_t day) {
@@ -419,7 +419,7 @@ TEST(CampaignStoreTest, RepeatedSavesAdvanceGenerationsAndReclaimOld) {
   Fixture f = MakeFixture(5);
   serving::CampaignEngine engine;
   engine.AddCampaign("c0", FastConfig(), f.problem.sf0, f.problem.builder,
-                     &f.problem.dataset.corpus);
+                     &f.problem.dataset.corpus).ValueOrDie();
   const std::string dir = TempStoreDir("generation_store");
   const serving::CampaignStore store(dir);
 
@@ -449,7 +449,7 @@ TEST(CampaignStoreTest, RepeatedSavesAdvanceGenerationsAndReclaimOld) {
 
   serving::CampaignEngine restored;
   restored.AddCampaign("c0", FastConfig(), f.problem.sf0, f.problem.builder,
-                       &f.problem.dataset.corpus);
+                       &f.problem.dataset.corpus).ValueOrDie();
   ASSERT_TRUE(store.Restore(&restored).ok());
   EXPECT_EQ(restored.timestep(0), 2);
 }
@@ -458,7 +458,7 @@ TEST(CampaignStoreTest, RestoreRejectsUnregisteredCampaign) {
   Fixture f = MakeFixture(5);
   serving::CampaignEngine engine;
   engine.AddCampaign("known", FastConfig(), f.problem.sf0, f.problem.builder,
-                     &f.problem.dataset.corpus);
+                     &f.problem.dataset.corpus).ValueOrDie();
   engine.Ingest(0, f.days[0].tweet_ids, 0);
   engine.Advance();
 
@@ -467,7 +467,7 @@ TEST(CampaignStoreTest, RestoreRejectsUnregisteredCampaign) {
 
   serving::CampaignEngine other;
   other.AddCampaign("different-name", FastConfig(), f.problem.sf0,
-                    f.problem.builder, &f.problem.dataset.corpus);
+                    f.problem.builder, &f.problem.dataset.corpus).ValueOrDie();
   const Status status = store.Restore(&other);
   EXPECT_EQ(status.code(), StatusCode::kNotFound);
 }
@@ -476,7 +476,7 @@ TEST(CampaignStoreTest, RestoreFailsCleanlyWithoutManifest) {
   Fixture f = MakeFixture(5);
   serving::CampaignEngine engine;
   engine.AddCampaign("c0", FastConfig(), f.problem.sf0, f.problem.builder,
-                     &f.problem.dataset.corpus);
+                     &f.problem.dataset.corpus).ValueOrDie();
   const serving::CampaignStore store(TempStoreDir("missing_store"));
   EXPECT_FALSE(store.HasManifest());
   EXPECT_EQ(store.Restore(&engine).code(), StatusCode::kIoError);
@@ -609,15 +609,15 @@ TEST(CampaignHealthTest, PoisonedCampaignDegradesQuarantinesAndRevives) {
   serving::CampaignEngine reference;
   reference.AddCampaign("sibling", FastConfig(), fixtures[1].problem.sf0,
                         fixtures[1].problem.builder,
-                        &fixtures[1].problem.dataset.corpus);
+                        &fixtures[1].problem.dataset.corpus).ValueOrDie();
 
   serving::CampaignEngine engine;  // quarantine_after_failures = 3 default
   engine.AddCampaign("victim", FastConfig(), fixtures[0].problem.sf0,
                      fixtures[0].problem.builder,
-                     &fixtures[0].problem.dataset.corpus);
+                     &fixtures[0].problem.dataset.corpus).ValueOrDie();
   engine.AddCampaign("sibling", FastConfig(), fixtures[1].problem.sf0,
                      fixtures[1].problem.builder,
-                     &fixtures[1].problem.dataset.corpus);
+                     &fixtures[1].problem.dataset.corpus).ValueOrDie();
 
   const auto ingest_day = [&](size_t day) {
     engine.Ingest(0, fixtures[0].days[day].tweet_ids, static_cast<int>(day));
@@ -730,7 +730,7 @@ TEST(CampaignHealthTest, QuarantineDisabledKeepsRetryingDegraded) {
   options.quarantine_after_failures = 0;  // never quarantine
   serving::CampaignEngine engine(options);
   engine.AddCampaign("c0", FastConfig(), f.problem.sf0, f.problem.builder,
-                     &f.problem.dataset.corpus);
+                     &f.problem.dataset.corpus).ValueOrDie();
   engine.Ingest(0, f.days[0].tweet_ids, 0);
   engine.Advance();
   PoisonState(&engine, 0);
@@ -749,7 +749,7 @@ TEST(CampaignHealthTest, ManualQuarantineSkipsAdvanceUntilRevived) {
   Fixture f = MakeFixture(5);
   serving::CampaignEngine engine;
   engine.AddCampaign("c0", FastConfig(), f.problem.sf0, f.problem.builder,
-                     &f.problem.dataset.corpus);
+                     &f.problem.dataset.corpus).ValueOrDie();
   engine.QuarantineCampaign(0, Status::Internal("operator pulled it"));
   EXPECT_EQ(engine.health(0), serving::CampaignHealth::kQuarantined);
   EXPECT_EQ(engine.last_error(0).code(), StatusCode::kInternal);

@@ -168,7 +168,7 @@ TEST(TimelineEvaluatorTest, ReplayedTimelineMatchesDirectScoringBitwise) {
       SentimentLexicon::BuiltinEnglish().BuildSf0(builder.vocabulary(), 3);
 
   serving::CampaignEngine engine;
-  engine.AddCampaign("sample", FastConfig(), sf0, builder, &corpus);
+  engine.AddCampaign("sample", FastConfig(), sf0, builder, &corpus).ValueOrDie();
   serving::ReplayDriver driver(&engine);
   driver.AddStream(0, corpus);
   TimelineEvaluator evaluator(&engine);
@@ -231,7 +231,7 @@ TEST(TimelineEvaluatorTest, AttachingEvaluatorPreservesReplayFactors) {
   auto run = [&](bool with_evaluator) {
     serving::CampaignEngine engine;
     engine.AddCampaign("c0", FastConfig(), problem.sf0, problem.builder,
-                       &corpus);
+                       &corpus).ValueOrDie();
     serving::ReplayDriver driver(&engine);
     driver.AddStream(0, corpus);
     TimelineEvaluator evaluator(&engine);
@@ -267,7 +267,7 @@ TEST(TimelineEvaluatorTest, MultiCampaignTimelinesAndCsv) {
   serving::CampaignEngine engine;
   for (size_t s = 0; s < streams.size(); ++s) {
     engine.AddCampaign("topic-" + std::to_string(s), FastConfig(), sf0,
-                       builder, &corpus);
+                       builder, &corpus).ValueOrDie();
   }
   serving::ReplayDriver driver(&engine);
   for (size_t s = 0; s < streams.size(); ++s) {
