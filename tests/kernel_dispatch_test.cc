@@ -19,6 +19,7 @@
 #include "src/core/config.h"
 #include "src/core/offline.h"
 #include "src/matrix/dense_matrix.h"
+#include "src/matrix/kernels.h"
 #include "src/matrix/ops.h"
 #include "src/matrix/sparse_matrix.h"
 #include "src/util/parallel.h"
@@ -402,6 +403,82 @@ TEST(KernelDispatchTest, ForceScalarEnvOverridesEverything) {
   }
   ASSERT_EQ(unsetenv("TRICLUST_FORCE_SCALAR"), 0);
   internal::ReprobeKernelEnvForTesting();
+}
+
+// --- dispatch-table coverage -------------------------------------------------
+// Pins the Select* tables body by body: every kernel declared in
+// src/matrix/kernels.h must be the selection for some (mode, shape) here.
+// tools/lint_invariants.py enforces the converse textually (a body added
+// to kernels.h without an expectation below fails the kernel-coverage
+// rule), so the two files cannot drift apart silently.
+
+TEST(KernelDispatchTableTest, SelectorsCoverEveryDeclaredBody) {
+  using namespace kernels;  // NOLINT(build/namespaces) — table readability
+  ScopedClearForceScalar no_env;
+  const bool avx2 = CpuSupportsAvx2() && kernels::Avx2KernelsCompiled();
+  const bool fast = avx2 && CpuSupportsFma();
+
+  {
+    // kScalar: every selector returns its generic reference loop.
+    ScopedKernelMode scalar(KernelMode::kScalar);
+    EXPECT_EQ(SelectSpMMRows(3), &GenericSpMMRows);
+    EXPECT_EQ(SelectAtBAccumulate(3, 3), &GenericAtBAccumulate);
+    EXPECT_EQ(SelectMatMulRows(3, 3), &GenericMatMulRows);
+    EXPECT_EQ(SelectABtRows(3), &GenericABtRows);
+    EXPECT_EQ(SelectMulUpdateRange(), &GenericMulUpdateRange);
+    EXPECT_EQ(SelectDotRange(), &GenericDotRange);
+    EXPECT_EQ(SelectDiffSquaredRange(), &GenericDiffSquaredRange);
+    EXPECT_EQ(SelectSpCrossRows(3), &GenericSpCrossRows);
+  }
+  {
+    // kAuto: fixed-k unrolls, upgraded to the bit-identical AVX2 bodies
+    // when the CPU and the kernel TU both have them.
+    ScopedKernelMode auto_mode(KernelMode::kAuto);
+    EXPECT_EQ(SelectSpMMRows(2), avx2 ? &Avx2SpMMRowsK2 : &SpMMRowsK2);
+    EXPECT_EQ(SelectSpMMRows(3), avx2 ? &Avx2SpMMRowsK3 : &SpMMRowsK3);
+    EXPECT_EQ(SelectSpMMRows(4), avx2 ? &Avx2SpMMRowsK4 : &SpMMRowsK4);
+    EXPECT_EQ(SelectSpMMRows(7),
+              avx2 ? &Avx2SpMMRowsWide : &GenericSpMMRows);
+    EXPECT_EQ(SelectAtBAccumulate(2, 2),
+              avx2 ? &Avx2AtBAccumulateK2 : &AtBAccumulateK2);
+    EXPECT_EQ(SelectAtBAccumulate(3, 3),
+              avx2 ? &Avx2AtBAccumulateK3 : &AtBAccumulateK3);
+    EXPECT_EQ(SelectAtBAccumulate(4, 4),
+              avx2 ? &Avx2AtBAccumulateK4 : &AtBAccumulateK4);
+    EXPECT_EQ(SelectAtBAccumulate(7, 7),
+              avx2 ? &Avx2AtBAccumulateWide : &GenericAtBAccumulate);
+    EXPECT_EQ(SelectMatMulRows(2, 2), &MatMulRowsK2);
+    EXPECT_EQ(SelectMatMulRows(3, 3), &MatMulRowsK3);
+    EXPECT_EQ(SelectMatMulRows(4, 4), &MatMulRowsK4);
+    EXPECT_EQ(SelectMatMulRows(64, 64), &BlockedMatMulRows);
+    EXPECT_EQ(SelectABtRows(2), &ABtRowsK2);
+    EXPECT_EQ(SelectABtRows(3), &ABtRowsK3);
+    EXPECT_EQ(SelectABtRows(4), &ABtRowsK4);
+    EXPECT_EQ(SelectMulUpdateRange(),
+              avx2 ? &Avx2MulUpdateRange : &GenericMulUpdateRange);
+    EXPECT_EQ(SelectSpCrossRows(2), &SpCrossRowsK2);
+    EXPECT_EQ(SelectSpCrossRows(3), &SpCrossRowsK3);
+    EXPECT_EQ(SelectSpCrossRows(4), &SpCrossRowsK4);
+    // The fast tier must be unreachable from kAuto.
+    EXPECT_EQ(SelectDotRange(), &GenericDotRange);
+    EXPECT_EQ(SelectDiffSquaredRange(), &GenericDiffSquaredRange);
+  }
+  {
+    // kFast: the tolerance-only bodies take over their k=4 / reduction
+    // slots (only with AVX2+FMA; otherwise kFast degrades to kAuto).
+    ScopedKernelMode fast_mode(KernelMode::kFast);
+    EXPECT_EQ(SelectSpMMRows(4),
+              fast ? &FastSpMMRowsK4
+                   : (avx2 ? &Avx2SpMMRowsK4 : &SpMMRowsK4));
+    EXPECT_EQ(SelectAtBAccumulate(4, 4),
+              fast ? &FastAtBAccumulateK4
+                   : (avx2 ? &Avx2AtBAccumulateK4 : &AtBAccumulateK4));
+    EXPECT_EQ(SelectDotRange(), fast ? &FastDotRange : &GenericDotRange);
+    EXPECT_EQ(SelectDiffSquaredRange(),
+              fast ? &FastDiffSquaredRange : &GenericDiffSquaredRange);
+    EXPECT_EQ(SelectSpCrossRows(4),
+              fast ? &FastSpCrossRowsK4 : &SpCrossRowsK4);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,12 @@
+// Golden violation for the avx2-confinement rule: AVX2 intrinsics outside
+// src/matrix/kernels_avx2.cc would be compiled without -mavx2 (ICE or
+// silent scalarization) or, worse, leak AVX2 code into TUs that run on
+// non-AVX2 hosts. Every construct below must be flagged.
+#include <immintrin.h>
+
+double SumFourLanes(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  __m256d hi = _mm256_permute2f128_pd(v, v, 1);
+  __m256d s = _mm256_add_pd(v, hi);
+  return _mm256_cvtsd_f64(s) + _mm256_cvtsd_f64(_mm256_permute_pd(s, 1));
+}

@@ -1,0 +1,10 @@
+// Golden clean fixture for the avx2-confinement rule: scalar code that
+// talks about AVX2 in comments (allowed) without emitting any of it.
+#include <cstddef>
+
+// The _mm256_* intrinsic family is discussed here in prose only.
+double SumLanesScalar(const double* p, size_t n) {
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) total += p[i];
+  return total;
+}

@@ -1,0 +1,12 @@
+// Golden violation for the determinism rule: system randomness and
+// wall-clock reads in solver/kernel code make fits irreproducible. Every
+// construct below must be flagged.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double NondeterministicInit() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  std::random_device entropy;
+  return static_cast<double>(rand()) + static_cast<double>(entropy());
+}

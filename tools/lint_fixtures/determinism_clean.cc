@@ -1,0 +1,24 @@
+// Golden clean fixture for the determinism rule: seeded project Rng,
+// identifiers that merely contain the banned substrings, and a waived
+// deliberate exception.
+#include "src/util/rng.h"
+
+namespace triclust {
+
+double DeterministicInit(uint64_t seed) {
+  Rng rng(seed);  // seeded: same seed, same stream, on every machine
+  return rng.Uniform(0.0, 1.0);
+}
+
+// `runtime(...)` and `operand(...)` contain "time(" / "rand(" as
+// substrings only; word boundaries must keep them clean.
+double runtime(int x);
+double operand(int x);
+double UsesLookalikes() { return runtime(1) + operand(2); }
+
+int WaivedWallClock() {
+  // lint-allow(determinism): exercising the waiver syntax in the self-test
+  return static_cast<int>(time(nullptr));
+}
+
+}  // namespace triclust

@@ -1,0 +1,21 @@
+// Golden violation for the fs-seam rule: direct file I/O in src/ outside
+// src/util/ bypasses the FileSystem seam (no fault injection, no crash
+// matrix). Every construct below must be flagged.
+#include <fstream>
+
+#include <string>
+
+bool ReadConfigBypassingTheSeam(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  out->assign((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool TouchWithCStdio(const char* path) {
+  FILE* f = fopen(path, "w");
+  if (f == nullptr) return false;
+  fclose(f);
+  return true;
+}

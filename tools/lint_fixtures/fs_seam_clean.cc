@@ -1,0 +1,33 @@
+// Golden clean fixture for the fs-seam rule: file I/O through the
+// FileSystem seam, plus the shapes the rule must NOT trip on — mentions
+// of fstream in comments, Open() methods of project types, and a waived
+// deliberate exception.
+#include <string>
+
+#include "src/util/fs.h"
+#include "src/util/status.h"
+
+namespace triclust {
+
+// Talking about std::ifstream in a comment is fine; opening one is not.
+Status CopyThroughSeam(const std::string& from, const std::string& to) {
+  FileSystem* fs = GetDefaultFileSystem();
+  TRICLUST_ASSIGN_OR_RETURN(std::string data, fs->ReadFileToString(from));
+  TRICLUST_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                            fs->NewWritableFile(to));
+  TRICLUST_RETURN_IF_ERROR(file->Append(data));
+  return file->Close();
+}
+
+struct Reader {
+  bool Open(const std::string& path);  // project Open(), not POSIX open()
+};
+
+bool WaivedException(const char* path) {
+  // lint-allow(fs-seam): exercising the waiver syntax in the self-test
+  FILE* f = fopen(path, "r");
+  if (f != nullptr) fclose(f);
+  return f != nullptr;
+}
+
+}  // namespace triclust

@@ -1,0 +1,14 @@
+// Golden fixture header for the kernel-coverage rule: a miniature
+// kernels.h declaring three bodies. kernel_coverage_test_full.cc
+// references all three; kernel_coverage_test_missing.cc omits
+// UncoveredKernelBody and must be flagged.
+#ifndef TRICLUST_TOOLS_LINT_FIXTURES_KERNEL_COVERAGE_KERNELS_H_
+#define TRICLUST_TOOLS_LINT_FIXTURES_KERNEL_COVERAGE_KERNELS_H_
+
+#include <cstddef>
+
+void CoveredKernelBody(const double* x, double* y, size_t n);
+double CoveredReductionBody(const double* x, size_t n);
+void UncoveredKernelBody(const double* x, double* y, size_t n);
+
+#endif  // TRICLUST_TOOLS_LINT_FIXTURES_KERNEL_COVERAGE_KERNELS_H_

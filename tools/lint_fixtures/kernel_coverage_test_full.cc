@@ -1,0 +1,5 @@
+// Golden fixture "test" referencing every body declared by
+// kernel_coverage_kernels.h — the kernel-coverage rule must accept it.
+void CoverageTestFull() {
+  // CoveredKernelBody, CoveredReductionBody, UncoveredKernelBody
+}

@@ -1,0 +1,7 @@
+// Golden fixture "test" that covers only two of the three bodies declared
+// by kernel_coverage_kernels.h — the kernel-coverage rule must flag the
+// missing UncoveredKernel reference. (The name is deliberately absent
+// here; only its prefix appears, which must not count as coverage.)
+void CoverageTestMissing() {
+  // CoveredKernelBody, CoveredReductionBody
+}
