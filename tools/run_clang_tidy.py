@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""clang-tidy ratchet runner for the triclust repo.
+
+Runs clang-tidy (profile: the repo's .clang-tidy) over every repo TU in
+the CMake compilation database, aggregates diagnostics per check, and
+compares against the frozen per-check debt in
+tools/clang_tidy_baseline.json:
+
+  count > baseline  ->  NEW violations: print them and fail (exit 1)
+  count = baseline  ->  ok
+  count < baseline  ->  ok, but prints a tightening hint; run
+                        --update-baseline to lock in the progress
+
+Diagnostics are deduplicated by (file, line, check) so a header warning
+seen from ten TUs counts once. A check never mentioned by the baseline
+has budget zero — enabling a new check in .clang-tidy ratchets it at
+zero debt automatically.
+
+Usage:
+  run_clang_tidy.py --build-dir build [--repo-root .] [--jobs N]
+  run_clang_tidy.py --update-baseline   # rewrite baseline to current
+  run_clang_tidy.py --self-test         # ratchet logic on canned output
+
+--self-test needs no clang-tidy binary (it feeds canned diagnostics to
+the parser and ratchet); it is registered as a ctest so the ratchet
+logic itself cannot rot. The real run needs clang-tidy and the compile
+database (cmake -DCMAKE_EXPORT_COMPILE_COMMANDS=ON, the default here).
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+DIAG_RE = re.compile(
+    r'^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+'
+    r'(?:warning|error):\s+(?P<msg>.*?)\s+\[(?P<checks>[\w.,-]+)\]$')
+
+
+def parse_diagnostics(output, repo_root):
+    """Extracts unique (path, line, check, message) tuples from clang-tidy
+    stdout. Dedup key is (path, line, check): the same header diagnostic
+    surfaces once per including TU."""
+    seen = {}
+    for raw in output.splitlines():
+        m = DIAG_RE.match(raw.strip())
+        if not m:
+            continue
+        path = os.path.normpath(m.group("path"))
+        if os.path.isabs(path):
+            try:
+                path = os.path.relpath(path, repo_root)
+            except ValueError:
+                pass
+        # A diagnostic may cite several checks ("a,b"); attribute to the
+        # first (primary) one.
+        check = m.group("checks").split(",")[0]
+        key = (path, int(m.group("line")), check)
+        seen.setdefault(key, m.group("msg"))
+    return [(p, l, c, msg) for (p, l, c), msg in sorted(seen.items())]
+
+
+def count_by_check(diagnostics):
+    counts = {}
+    for _, _, check, _ in diagnostics:
+        counts[check] = counts.get(check, 0) + 1
+    return counts
+
+
+def load_baseline(path):
+    with open(path) as f:
+        data = json.load(f)
+    return data.get("checks", {})
+
+
+def ratchet(diagnostics, baseline):
+    """Returns (failures, tighten) — failures maps check -> list of
+    diagnostics for checks over budget; tighten maps check -> (count,
+    budget) for checks now under budget."""
+    counts = count_by_check(diagnostics)
+    failures = {}
+    tighten = {}
+    for check, count in sorted(counts.items()):
+        budget = baseline.get(check, 0)
+        if count > budget:
+            failures[check] = [d for d in diagnostics if d[2] == check]
+        elif count < budget:
+            tighten[check] = (count, budget)
+    for check, budget in sorted(baseline.items()):
+        if budget > 0 and check not in counts:
+            tighten[check] = (0, budget)
+    return failures, tighten
+
+
+def repo_translation_units(build_dir, repo_root):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        sys.exit(f"error: {db_path} not found — configure CMake first "
+                 "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default)")
+    with open(db_path) as f:
+        db = json.load(f)
+    root = os.path.realpath(repo_root)
+    files = []
+    for entry in db:
+        path = os.path.realpath(
+            os.path.join(entry.get("directory", "."), entry["file"]))
+        if path.startswith(root + os.sep) and "/tools/" not in path:
+            files.append(path)
+    return sorted(set(files))
+
+
+def run_clang_tidy(binary, build_dir, files, jobs):
+    def one(path):
+        proc = subprocess.run(
+            [binary, "-p", build_dir, "--quiet", path],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+        return proc.stdout
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        return "\n".join(pool.map(one, files))
+
+
+# --- self-test ---------------------------------------------------------------
+
+CANNED_OUTPUT = """\
+/repo/src/util/fs.cc:42:7: warning: use after move [bugprone-use-after-move]
+/repo/src/util/fs.h:10:3: warning: unused using [misc-unused-using-decls]
+/repo/src/util/fs.h:10:3: warning: unused using [misc-unused-using-decls]
+/repo/src/core/online.cc:7:1: warning: redundant expr [misc-redundant-expression,-warnings-as-errors]
+12 warnings generated.
+Suppressed 11 warnings (11 in non-user code).
+"""
+
+
+def self_test():
+    failures = []
+
+    def expect(label, cond):
+        if not cond:
+            failures.append(label)
+
+    diags = parse_diagnostics(CANNED_OUTPUT, "/repo")
+    counts = count_by_check(diags)
+    # The duplicated header diagnostic must collapse; the trailing
+    # summary/suppression lines must not parse; multi-check brackets
+    # attribute to the primary check.
+    expect("parse: three unique diagnostics", len(diags) == 3)
+    expect("parse: counts",
+           counts == {"bugprone-use-after-move": 1,
+                      "misc-unused-using-decls": 1,
+                      "misc-redundant-expression": 1})
+    expect("parse: relative paths",
+           all(p.startswith("src/") for p, _, _, _ in diags))
+
+    # Empty baseline: every check is over its zero budget.
+    over, tighten = ratchet(diags, {})
+    expect("ratchet: zero baseline fails all three",
+           set(over) == set(counts) and not tighten)
+
+    # Exact baseline: green.
+    over, tighten = ratchet(diags, dict(counts))
+    expect("ratchet: matching baseline passes", not over and not tighten)
+
+    # Loose baseline: green plus a tightening hint, including for a
+    # budgeted check that no longer fires at all.
+    loose = dict(counts)
+    loose["bugprone-use-after-move"] = 5
+    loose["performance-move-const-arg"] = 2
+    over, tighten = ratchet(diags, loose)
+    expect("ratchet: loose baseline passes", not over)
+    expect("ratchet: tighten hints",
+           tighten == {"bugprone-use-after-move": (1, 5),
+                       "performance-move-const-arg": (0, 2)})
+
+    # Regression beyond budget still fails.
+    tight = dict(counts)
+    tight["misc-unused-using-decls"] = 0
+    over, _ = ratchet(diags, tight)
+    expect("ratchet: over-budget check fails",
+           set(over) == {"misc-unused-using-decls"})
+
+    if failures:
+        print("run_clang_tidy self-test FAILED:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("run_clang_tidy self-test OK: parsing, dedup, and ratchet "
+          "compare behave.")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="clang-tidy ratchet for triclust")
+    parser.add_argument("--repo-root",
+                        default=os.path.dirname(
+                            os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("--build-dir", default=None,
+                        help="CMake build dir with compile_commands.json "
+                             "(default: <repo-root>/build)")
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite tools/clang_tidy_baseline.json with "
+                             "the current per-check counts")
+    parser.add_argument("--self-test", action="store_true",
+                        help="exercise the parser and ratchet on canned "
+                             "output (no clang-tidy needed)")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    if shutil.which(args.clang_tidy) is None:
+        sys.exit(f"error: {args.clang_tidy} not found — install clang-tidy "
+                 "or use --clang-tidy; ctest's ratchet self-test covers "
+                 "the compare logic without it")
+
+    build_dir = args.build_dir or os.path.join(args.repo_root, "build")
+    baseline_path = os.path.join(args.repo_root, "tools",
+                                 "clang_tidy_baseline.json")
+    files = repo_translation_units(build_dir, args.repo_root)
+    print(f"clang-tidy over {len(files)} TUs "
+          f"({args.jobs} jobs, profile .clang-tidy)...")
+    output = run_clang_tidy(args.clang_tidy, build_dir, files, args.jobs)
+    diagnostics = parse_diagnostics(output, args.repo_root)
+
+    if args.update_baseline:
+        with open(baseline_path) as f:
+            data = json.load(f)
+        data["checks"] = count_by_check(diagnostics)
+        with open(baseline_path, "w") as f:
+            json.dump(data, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline rewritten: {len(diagnostics)} diagnostic(s) "
+              f"across {len(data['checks'])} check(s)")
+        return 0
+
+    failures, tighten = ratchet(diagnostics, load_baseline(baseline_path))
+    for check, (count, budget) in sorted(tighten.items()):
+        print(f"note: {check}: {count} < baseline {budget} — debt paid; "
+              "run --update-baseline to lock it in")
+    if failures:
+        print("\nNEW clang-tidy violations over the frozen baseline:")
+        for check, diags in sorted(failures.items()):
+            budget = load_baseline(baseline_path).get(check, 0)
+            print(f"\n  {check}: {len(diags)} found, budget {budget}")
+            for path, line, _, msg in diags:
+                print(f"    {path}:{line}: {msg}")
+        print("\nFix the new findings (preferred), waive with NOLINT and "
+              "a reason, or — for genuinely pre-existing debt — freeze "
+              "them via --update-baseline in a dedicated commit.")
+        return 1
+    print(f"clang-tidy ratchet OK: {len(diagnostics)} diagnostic(s), "
+          "none over baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
