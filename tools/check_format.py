@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Changed-files-only clang-format check.
+
+Collects the C++ files touched between a base ref and the working tree
+(committed, staged, and unstaged alike) and runs
+`clang-format --dry-run -Werror` with the repo .clang-format over them.
+Only changed files are checked on purpose: the goal is that edits land
+formatted, without a tree-wide reformat churning blame.
+
+Exit status: 0 = formatted (or nothing changed), 1 = violations,
+77 = skipped (no clang-format binary, or not a git checkout) — the same
+skip convention as tools/check_negative_compile.py.
+
+Usage:
+  check_format.py [--base origin/main] [--repo-root .] [--clang-format BIN]
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+
+SKIP = 77
+EXTENSIONS = (".cc", ".h")
+# Deliberately-unformatted trees: lint/negative-compile fixtures keep
+# whatever shape their seeded violation needs.
+EXCLUDED_PREFIXES = ("tools/lint_fixtures/", "tools/ts_fixtures/")
+
+
+def git(repo_root, *argv):
+    proc = subprocess.run(["git", "-C", repo_root, *argv],
+                          stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                          text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(proc.stderr.strip())
+    return proc.stdout
+
+
+def changed_files(repo_root, base):
+    """C++ files changed since merge-base(base, HEAD), plus any
+    staged/unstaged edits."""
+    merge_base = git(repo_root, "merge-base", base, "HEAD").strip()
+    names = set()
+    for diff_args in (["diff", "--name-only", "--diff-filter=ACMR",
+                       merge_base, "HEAD"],
+                      ["diff", "--name-only", "--diff-filter=ACMR", "HEAD"]):
+        names.update(git(repo_root, *diff_args).splitlines())
+    out = []
+    for name in sorted(names):
+        if not name.endswith(EXTENSIONS):
+            continue
+        if name.startswith(EXCLUDED_PREFIXES):
+            continue
+        path = os.path.join(repo_root, name)
+        if os.path.exists(path):  # renamed-away files drop out
+            out.append(name)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--base", default="origin/main",
+                        help="ref to diff against (merge-base with HEAD)")
+    parser.add_argument("--repo-root",
+                        default=os.path.dirname(
+                            os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("--clang-format", default="clang-format")
+    args = parser.parse_args()
+
+    if shutil.which(args.clang_format) is None:
+        print(f"SKIP: {args.clang_format} not found")
+        return SKIP
+    try:
+        files = changed_files(args.repo_root, args.base)
+    except RuntimeError as e:
+        print(f"SKIP: cannot diff against {args.base}: {e}")
+        return SKIP
+    if not files:
+        print("format check OK: no C++ files changed.")
+        return 0
+
+    print(f"clang-format --dry-run over {len(files)} changed file(s)...")
+    proc = subprocess.run(
+        [args.clang_format, "--dry-run", "-Werror", "--style=file",
+         *files],
+        cwd=args.repo_root, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        print(proc.stdout)
+        print("format check FAILED — run:\n  clang-format -i "
+              + " ".join(files))
+        return 1
+    print("format check OK.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
