@@ -5,23 +5,30 @@
 /// level) and Figure 7 (tweet level) benches.
 
 #include <iostream>
+#include <string>
 
+#include "bench/bench_flags.h"
 #include "bench/bench_util.h"
 #include "src/core/offline.h"
 #include "src/eval/metrics.h"
+#include "src/util/stopwatch.h"
 #include "src/util/table_writer.h"
 
 namespace triclust {
 namespace bench_sweep {
 
 /// Runs the (α, β) grid and prints one table per metric and level.
-/// Shared with the Figure 7 bench (tweet level).
-inline void RunAlphaBetaSweep(bool user_level) {
+/// Shared with the Figure 7 bench (tweet level). Reports the whole grid
+/// as one JSON entry `<report_name>` (wall time of all fits; best-cell
+/// coordinates and fit count as counters).
+inline void RunAlphaBetaSweep(bool user_level, const std::string& report_name,
+                              bench_flags::Reporter& reporter,
+                              const bench_flags::Flags& flags) {
   const bench_util::BenchDataset b = bench_util::MakeProp30();
   const std::vector<double> grid = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
 
   TriClusterConfig base;
-  base.max_iterations = 60;
+  base.max_iterations = flags.ScaledIters(60);
   base.track_loss = false;
   const DenseMatrix sf0 = b.lexicon.BuildSf0(b.builder.vocabulary(),
                                              base.num_clusters);
@@ -40,6 +47,8 @@ inline void RunAlphaBetaSweep(bool user_level) {
   double best_acc = 0.0;
   double best_alpha = 0.0;
   double best_beta = 0.0;
+  size_t fits = 0;
+  const Stopwatch watch;
   for (double alpha : grid) {
     std::vector<std::string> acc_row = {TableWriter::Num(alpha, 1)};
     std::vector<std::string> nmi_row = {TableWriter::Num(alpha, 1)};
@@ -49,6 +58,7 @@ inline void RunAlphaBetaSweep(bool user_level) {
       config.beta = beta;
       const TriClusterResult r =
           OfflineTriClusterer(config).Run(b.data, sf0);
+      ++fits;
       const std::vector<int> clusters =
           user_level ? r.UserClusters() : r.TweetClusters();
       const std::vector<Sentiment>& truth =
@@ -67,10 +77,16 @@ inline void RunAlphaBetaSweep(bool user_level) {
     acc_table.AddRow(acc_row);
     nmi_table.AddRow(nmi_row);
   }
+  const double grid_ms = watch.ElapsedMillis();
   acc_table.Print(std::cout);
   nmi_table.Print(std::cout);
   std::cout << "\nbest accuracy " << TableWriter::Num(best_acc, 2)
             << "% at alpha=" << best_alpha << ", beta=" << best_beta << "\n";
+  reporter.Add(report_name, grid_ms,
+               {{"fits", static_cast<double>(fits)},
+                {"best_accuracy_pct", best_acc},
+                {"best_alpha", best_alpha},
+                {"best_beta", best_beta}});
 }
 
 }  // namespace bench_sweep

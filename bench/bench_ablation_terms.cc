@@ -6,11 +6,13 @@
 
 #include <iostream>
 
+#include "bench/bench_flags.h"
 #include "bench/bench_util.h"
 #include "src/core/offline.h"
 #include "src/core/timeline.h"
 #include "src/data/snapshots.h"
 #include "src/eval/metrics.h"
+#include "src/util/stopwatch.h"
 #include "src/util/table_writer.h"
 
 namespace triclust {
@@ -36,12 +38,12 @@ Scores Score(const TriClusterResult& r, const DatasetMatrices& data) {
   return s;
 }
 
-void Run() {
+void Run(bench_flags::Reporter& reporter, const bench_flags::Flags& flags) {
   bench_util::PrintHeader(
       "Ablation: contribution of each objective term / design choice");
   const bench_util::BenchDataset b = bench_util::MakeProp30();
   TriClusterConfig base;
-  base.max_iterations = 80;
+  base.max_iterations = flags.ScaledIters(80);
   base.track_loss = false;
   const DenseMatrix sf0 =
       b.lexicon.BuildSf0(b.builder.vocabulary(), base.num_clusters);
@@ -49,40 +51,44 @@ void Run() {
   TableWriter table("Offline ablation (Prop-30-like)");
   table.SetHeader({"variant", "tweet acc", "user acc", "tweet NMI",
                    "user NMI"});
-  auto add = [&](const std::string& name, const Scores& s) {
+  auto add = [&](const std::string& name, const std::string& slug,
+                 const TriClusterConfig& config, const DatasetMatrices& data) {
+    const Stopwatch watch;
+    const Scores s = Score(OfflineTriClusterer(config).Run(data, sf0), b.data);
+    const double fit_ms = watch.ElapsedMillis();
     table.AddRow({name, TableWriter::Num(s.tweet_acc, 2),
                   TableWriter::Num(s.user_acc, 2),
                   TableWriter::Num(s.tweet_nmi, 2),
                   TableWriter::Num(s.user_nmi, 2)});
+    reporter.Add("ablation/offline/" + slug, fit_ms,
+                 {{"tweet_accuracy_pct", s.tweet_acc},
+                  {"user_accuracy_pct", s.user_acc},
+                  {"tweet_nmi_pct", s.tweet_nmi},
+                  {"user_nmi_pct", s.user_nmi}});
   };
 
-  add("full objective",
-      Score(OfflineTriClusterer(base).Run(b.data, sf0), b.data));
+  add("full objective", "full", base, b.data);
 
   {  // Gao-et-al-style decoupling: drop the Xr coupling term entirely.
     DatasetMatrices decoupled = b.data;
     SparseMatrix::Builder empty(b.data.num_users(), b.data.num_tweets());
     decoupled.xr = empty.Build();
-    add("no Xr coupling (split bipartite [10])",
-        Score(OfflineTriClusterer(base).Run(decoupled, sf0), b.data));
+    add("no Xr coupling (split bipartite [10])", "no_xr", base, decoupled);
   }
   {
     TriClusterConfig config = base;
     config.alpha = 0.0;
-    add("no lexicon term (alpha=0)",
-        Score(OfflineTriClusterer(config).Run(b.data, sf0), b.data));
+    add("no lexicon term (alpha=0)", "no_lexicon", config, b.data);
   }
   {
     TriClusterConfig config = base;
     config.beta = 0.0;
-    add("no graph term (beta=0)",
-        Score(OfflineTriClusterer(config).Run(b.data, sf0), b.data));
+    add("no graph term (beta=0)", "no_graph", config, b.data);
   }
   {
     TriClusterConfig config = base;
     config.init = InitStrategy::kRandom;
-    add("random init (vs lexicon-seeded)",
-        Score(OfflineTriClusterer(config).Run(b.data, sf0), b.data));
+    add("random init (vs lexicon-seeded)", "random_init", config, b.data);
   }
   table.Print(std::cout);
 
@@ -90,36 +96,43 @@ void Run() {
   const std::vector<Snapshot> snapshots = SplitByDay(b.dataset.corpus);
   TableWriter online_table("Online ablation (per-day stream averages)");
   online_table.SetHeader({"variant", "avg tweet acc", "avg user acc"});
-  auto add_online = [&](const std::string& name, const OnlineConfig& c) {
+  auto add_online = [&](const std::string& name, const std::string& slug,
+                        const OnlineConfig& c) {
+    const Stopwatch watch;
     const auto steps = RunTimeline(b.dataset.corpus, b.builder, snapshots,
                                    b.lexicon, TimelineMode::kOnline, c);
-    online_table.AddRow({name,
-                         TableWriter::Num(AverageTweetAccuracy(steps), 2),
-                         TableWriter::Num(AverageUserAccuracy(steps), 2)});
+    const double stream_ms = watch.ElapsedMillis();
+    const double tweet_acc = AverageTweetAccuracy(steps);
+    const double user_acc = AverageUserAccuracy(steps);
+    online_table.AddRow({name, TableWriter::Num(tweet_acc, 2),
+                         TableWriter::Num(user_acc, 2)});
+    reporter.Add("ablation/online/" + slug, stream_ms,
+                 {{"avg_tweet_accuracy_pct", tweet_acc},
+                  {"avg_user_accuracy_pct", user_acc}});
   };
   OnlineConfig online_base;
-  online_base.base.max_iterations = 50;
+  online_base.base.max_iterations = flags.ScaledIters(50);
   online_base.base.track_loss = false;
-  add_online("full online", online_base);
+  add_online("full online", "full", online_base);
   {
     OnlineConfig c = online_base;
     c.gamma = 0.0;
-    add_online("no user temporal reg (gamma=0)", c);
+    add_online("no user temporal reg (gamma=0)", "no_gamma", c);
   }
   {
     OnlineConfig c = online_base;
     c.seed_users_from_history = false;
-    add_online("no user warm start", c);
+    add_online("no user warm start", "no_warm_start", c);
   }
   {
     OnlineConfig c = online_base;
     c.lexicon_blend = 0.0;
-    add_online("no lexicon blend (paper-exact Sfw)", c);
+    add_online("no lexicon blend (paper-exact Sfw)", "no_lexicon_blend", c);
   }
   {
     OnlineConfig c = online_base;
     c.tau = 0.2;
-    add_online("fast decay (tau=0.2)", c);
+    add_online("fast decay (tau=0.2)", "fast_decay", c);
   }
   online_table.Print(std::cout);
 }
@@ -127,7 +140,11 @@ void Run() {
 }  // namespace
 }  // namespace triclust
 
-int main() {
-  triclust::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return triclust::bench_flags::BenchMain(
+      argc, argv, "bench_ablation_terms",
+      [](triclust::bench_flags::Reporter& reporter,
+         const triclust::bench_flags::Flags& flags) {
+        triclust::Run(reporter, flags);
+      });
 }

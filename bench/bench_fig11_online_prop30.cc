@@ -4,9 +4,14 @@
 
 #include "bench/timeline_figure.h"
 
-int main() {
-  const auto b = triclust::bench_util::MakeProp30();
-  triclust::bench_fig::RunTimelineFigure(
-      "Figure 11: online performance, Prop-30-like stream", b);
-  return 0;
+int main(int argc, char** argv) {
+  return triclust::bench_flags::BenchMain(
+      argc, argv, "bench_fig11_online_prop30",
+      [](triclust::bench_flags::Reporter& reporter,
+         const triclust::bench_flags::Flags& flags) {
+        const auto b = triclust::bench_util::MakeProp30();
+        triclust::bench_fig::RunTimelineFigure(
+            "Figure 11: online performance, Prop-30-like stream", b,
+            "fig11/timeline/prop30", reporter, flags);
+      });
 }

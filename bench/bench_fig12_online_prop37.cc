@@ -4,9 +4,14 @@
 
 #include "bench/timeline_figure.h"
 
-int main() {
-  const auto b = triclust::bench_util::MakeProp37();
-  triclust::bench_fig::RunTimelineFigure(
-      "Figure 12: online performance, Prop-37-like stream", b);
-  return 0;
+int main(int argc, char** argv) {
+  return triclust::bench_flags::BenchMain(
+      argc, argv, "bench_fig12_online_prop37",
+      [](triclust::bench_flags::Reporter& reporter,
+         const triclust::bench_flags::Flags& flags) {
+        const auto b = triclust::bench_util::MakeProp37();
+        triclust::bench_fig::RunTimelineFigure(
+            "Figure 12: online performance, Prop-37-like stream", b,
+            "fig12/timeline/prop37", reporter, flags);
+      });
 }

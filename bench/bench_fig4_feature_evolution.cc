@@ -9,9 +9,11 @@
 #include <iostream>
 #include <unordered_map>
 
+#include "bench/bench_flags.h"
 #include "bench/bench_util.h"
 #include "src/text/stopwords.h"
 #include "src/text/tokenizer.h"
+#include "src/util/stopwatch.h"
 #include "src/util/table_writer.h"
 
 namespace triclust {
@@ -59,11 +61,12 @@ double CosineOfCounts(const Counts& a, const Counts& b) {
   return (na > 0 && nb > 0) ? dot / std::sqrt(na * nb) : 0.0;
 }
 
-void Run() {
+void Run(bench_flags::Reporter& reporter) {
   bench_util::PrintHeader("Figure 4: the evolution of features");
   const bench_util::BenchDataset b = bench_util::MakeProp37();
   const Tokenizer tokenizer;
 
+  const Stopwatch watch;
   // Two early days vs two late days, mirroring the paper's
   // Aug 1–2 vs Sep 30–Oct 1 comparison.
   const Counts early = CountPeriod(b.dataset.corpus, tokenizer, 0, 1);
@@ -110,12 +113,18 @@ void Run() {
   }
   std::cout << "polar words present in both periods: " << polar_seen
             << ", with unchanged polarity: " << polar_stable << "\n";
+  reporter.Add("fig4/feature_evolution/prop37", watch.ElapsedMillis(),
+               {{"period_cosine_similarity", cosine},
+                {"top10_overlap", static_cast<double>(overlap)},
+                {"polar_words_stable", static_cast<double>(polar_stable)}});
 }
 
 }  // namespace
 }  // namespace triclust
 
-int main() {
-  triclust::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return triclust::bench_flags::BenchMain(
+      argc, argv, "bench_fig4_feature_evolution",
+      [](triclust::bench_flags::Reporter& reporter,
+         const triclust::bench_flags::Flags&) { triclust::Run(reporter); });
 }

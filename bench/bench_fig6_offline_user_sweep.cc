@@ -4,12 +4,18 @@
 
 #include "bench/alpha_beta_sweep.h"
 
-int main() {
-  triclust::bench_util::PrintHeader(
-      "Figure 6: user-level quality when varying alpha and beta");
-  triclust::bench_sweep::RunAlphaBetaSweep(/*user_level=*/true);
-  std::cout << "\nPaper shape to check: graph regularization (moderate-high "
-               "beta) helps user-level accuracy; heavy lexicon weight is "
-               "inessential at user level.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return triclust::bench_flags::BenchMain(
+      argc, argv, "bench_fig6_offline_user_sweep",
+      [](triclust::bench_flags::Reporter& reporter,
+         const triclust::bench_flags::Flags& flags) {
+        triclust::bench_util::PrintHeader(
+            "Figure 6: user-level quality when varying alpha and beta");
+        triclust::bench_sweep::RunAlphaBetaSweep(
+            /*user_level=*/true, "fig6/alpha_beta_grid/user", reporter,
+            flags);
+        std::cout << "\nPaper shape to check: graph regularization "
+                     "(moderate-high beta) helps user-level accuracy; heavy "
+                     "lexicon weight is inessential at user level.\n";
+      });
 }

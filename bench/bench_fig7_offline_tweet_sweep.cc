@@ -6,12 +6,19 @@
 
 #include "bench/alpha_beta_sweep.h"
 
-int main() {
-  triclust::bench_util::PrintHeader(
-      "Figure 7: tweet-level quality when varying alpha and beta");
-  triclust::bench_sweep::RunAlphaBetaSweep(/*user_level=*/false);
-  std::cout << "\nPaper shape to check: tweet-level accuracy varies within "
-               "a narrow band across the grid (the paper sees 81-82%), "
-               "while Figure 6's user-level accuracy swings much wider.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return triclust::bench_flags::BenchMain(
+      argc, argv, "bench_fig7_offline_tweet_sweep",
+      [](triclust::bench_flags::Reporter& reporter,
+         const triclust::bench_flags::Flags& flags) {
+        triclust::bench_util::PrintHeader(
+            "Figure 7: tweet-level quality when varying alpha and beta");
+        triclust::bench_sweep::RunAlphaBetaSweep(
+            /*user_level=*/false, "fig7/alpha_beta_grid/tweet", reporter,
+            flags);
+        std::cout << "\nPaper shape to check: tweet-level accuracy varies "
+                     "within a narrow band across the grid (the paper sees "
+                     "81-82%), while Figure 6's user-level accuracy swings "
+                     "much wider.\n";
+      });
 }

@@ -9,24 +9,28 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench/bench_flags.h"
 #include "bench/bench_util.h"
 #include "src/core/offline.h"
+#include "src/util/stopwatch.h"
 #include "src/util/table_writer.h"
 
 namespace triclust {
 namespace {
 
-void Run() {
+void Run(bench_flags::Reporter& reporter, const bench_flags::Flags& flags) {
   bench_util::PrintHeader("Figure 8: convergence of the offline algorithm");
   const bench_util::BenchDataset b = bench_util::MakeProp30();
 
   TriClusterConfig config;
-  config.max_iterations = 100;
+  config.max_iterations = flags.ScaledIters(100);
   config.tolerance = 0.0;  // run the full 100 iterations, as the figure does
   config.track_loss = true;
   const DenseMatrix sf0 =
       b.lexicon.BuildSf0(b.builder.vocabulary(), config.num_clusters);
+  const Stopwatch watch;
   const TriClusterResult r = OfflineTriClusterer(config).Run(b.data, sf0);
+  const double solve_ms = watch.ElapsedMillis();
 
   TableWriter table(
       "Loss components per iteration (sqrt of squared Frobenius loss; "
@@ -63,12 +67,21 @@ void Run() {
                "then bounded component trading (paper: 'the algorithm "
                "searches among each local optimum of the five components "
                "and finally finds the global balancing point').\n";
+  reporter.Add("fig8/convergence/offline", solve_ms,
+               {{"iterations", static_cast<double>(r.iterations)},
+                {"initial_total_loss", r.loss_history.front().Total()},
+                {"min_total_loss", lowest},
+                {"final_total_loss", r.loss_history.back().Total()}});
 }
 
 }  // namespace
 }  // namespace triclust
 
-int main() {
-  triclust::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return triclust::bench_flags::BenchMain(
+      argc, argv, "bench_fig8_convergence",
+      [](triclust::bench_flags::Reporter& reporter,
+         const triclust::bench_flags::Flags& flags) {
+        triclust::Run(reporter, flags);
+      });
 }

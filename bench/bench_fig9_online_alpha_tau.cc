@@ -5,15 +5,17 @@
 
 #include <iostream>
 
+#include "bench/bench_flags.h"
 #include "bench/bench_util.h"
 #include "src/core/timeline.h"
 #include "src/data/snapshots.h"
+#include "src/util/stopwatch.h"
 #include "src/util/table_writer.h"
 
 namespace triclust {
 namespace {
 
-void Run() {
+void Run(bench_flags::Reporter& reporter, const bench_flags::Flags& flags) {
   bench_util::PrintHeader(
       "Figure 9: online accuracy when varying alpha and tau");
   const bench_util::BenchDataset b = bench_util::MakeProp30();
@@ -30,18 +32,21 @@ void Run() {
   double best_user = 0.0;
   double best_alpha = 0.0;
   double best_tau = 0.0;
+  size_t runs = 0;
+  const Stopwatch watch;
   for (double alpha : grid) {
     std::vector<std::string> user_row = {TableWriter::Num(alpha, 1)};
     std::vector<std::string> tweet_row = {TableWriter::Num(alpha, 1)};
     for (double tau : grid) {
       OnlineConfig config;
-      config.base.max_iterations = 50;
+      config.base.max_iterations = flags.ScaledIters(50);
       config.base.track_loss = false;
       config.alpha = alpha;
       config.tau = tau;
       const auto steps =
           RunTimeline(b.dataset.corpus, b.builder, snapshots, b.lexicon,
                       TimelineMode::kOnline, config);
+      ++runs;
       const double user_acc = AverageUserAccuracy(steps);
       const double tweet_acc = AverageTweetAccuracy(steps);
       user_row.push_back(TableWriter::Num(user_acc, 1));
@@ -55,6 +60,7 @@ void Run() {
     user_table.AddRow(user_row);
     tweet_table.AddRow(tweet_row);
   }
+  const double grid_ms = watch.ElapsedMillis();
   user_table.Print(std::cout);
   tweet_table.Print(std::cout);
   std::cout << "\nbest user-level accuracy "
@@ -62,12 +68,21 @@ void Run() {
             << ", tau=" << best_tau
             << "\nPaper shape to check: best user-level accuracy toward "
                "high (alpha, tau); tweet-level far less sensitive.\n";
+  reporter.Add("fig9/alpha_tau_grid/online", grid_ms,
+               {{"timeline_runs", static_cast<double>(runs)},
+                {"best_user_accuracy_pct", best_user},
+                {"best_alpha", best_alpha},
+                {"best_tau", best_tau}});
 }
 
 }  // namespace
 }  // namespace triclust
 
-int main() {
-  triclust::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return triclust::bench_flags::BenchMain(
+      argc, argv, "bench_fig9_online_alpha_tau",
+      [](triclust::bench_flags::Reporter& reporter,
+         const triclust::bench_flags::Flags& flags) {
+        triclust::Run(reporter, flags);
+      });
 }

@@ -5,17 +5,20 @@
 /// built, hence imperfect) word list — quality should degrade gracefully,
 /// not collapse, as the prior gets worse.
 
+#include <array>
 #include <iostream>
 
+#include "bench/bench_flags.h"
 #include "bench/bench_util.h"
 #include "src/core/offline.h"
 #include "src/eval/metrics.h"
+#include "src/util/stopwatch.h"
 #include "src/util/table_writer.h"
 
 namespace triclust {
 namespace {
 
-void Run() {
+void Run(bench_flags::Reporter& reporter, const bench_flags::Flags& flags) {
   bench_util::PrintHeader(
       "Robustness: accuracy vs prior-lexicon coverage and error rate");
   // Regenerate once; derive priors of varying quality from the same truth.
@@ -25,28 +28,40 @@ void Run() {
   const DatasetMatrices data = builder.BuildAll(dataset.corpus);
 
   TriClusterConfig config;
-  config.max_iterations = 60;
+  config.max_iterations = flags.ScaledIters(60);
   config.track_loss = false;
+
+  auto fit = [&](const std::string& scenario, double coverage, double error) {
+    const SentimentLexicon lexicon =
+        CorruptLexicon(dataset.true_lexicon, coverage, error, 99);
+    const DenseMatrix sf0 =
+        lexicon.BuildSf0(builder.vocabulary(), config.num_clusters);
+    const Stopwatch watch;
+    const TriClusterResult r = OfflineTriClusterer(config).Run(data, sf0);
+    const double fit_ms = watch.ElapsedMillis();
+    const double tweet_acc =
+        100.0 * ClusteringAccuracy(r.TweetClusters(), data.tweet_labels);
+    const double user_acc =
+        100.0 * ClusteringAccuracy(r.UserClusters(), data.user_labels);
+    const double tweet_nmi = 100.0 * NormalizedMutualInformation(
+                                         r.TweetClusters(), data.tweet_labels);
+    reporter.Add(scenario, fit_ms, {{"tweet_accuracy_pct", tweet_acc},
+                                    {"user_accuracy_pct", user_acc},
+                                    {"tweet_nmi_pct", tweet_nmi}});
+    return std::array<double, 3>{tweet_acc, user_acc, tweet_nmi};
+  };
 
   TableWriter coverage_table(
       "Tweet/user accuracy (%) vs lexicon coverage (error rate 5%)");
   coverage_table.SetHeader({"coverage", "tweet acc", "user acc",
                             "tweet NMI"});
   for (const double coverage : {1.0, 0.8, 0.6, 0.4, 0.2, 0.05}) {
-    const SentimentLexicon lexicon =
-        CorruptLexicon(dataset.true_lexicon, coverage, 0.05, 99);
-    const DenseMatrix sf0 =
-        lexicon.BuildSf0(builder.vocabulary(), config.num_clusters);
-    const TriClusterResult r = OfflineTriClusterer(config).Run(data, sf0);
-    coverage_table.AddRow(
-        {TableWriter::Num(coverage, 2),
-         TableWriter::Num(100.0 * ClusteringAccuracy(r.TweetClusters(),
-                                                     data.tweet_labels)),
-         TableWriter::Num(100.0 * ClusteringAccuracy(r.UserClusters(),
-                                                     data.user_labels)),
-         TableWriter::Num(100.0 * NormalizedMutualInformation(
-                                      r.TweetClusters(),
-                                      data.tweet_labels))});
+    const auto s = fit("lexicon/coverage_sweep/coverage:" +
+                           TableWriter::Num(coverage, 2),
+                       coverage, 0.05);
+    coverage_table.AddRow({TableWriter::Num(coverage, 2),
+                           TableWriter::Num(s[0]), TableWriter::Num(s[1]),
+                           TableWriter::Num(s[2])});
   }
   coverage_table.Print(std::cout);
 
@@ -55,20 +70,11 @@ void Run() {
   error_table.SetHeader({"error rate", "tweet acc", "user acc",
                          "tweet NMI"});
   for (const double error : {0.0, 0.05, 0.1, 0.2, 0.3}) {
-    const SentimentLexicon lexicon =
-        CorruptLexicon(dataset.true_lexicon, 0.6, error, 99);
-    const DenseMatrix sf0 =
-        lexicon.BuildSf0(builder.vocabulary(), config.num_clusters);
-    const TriClusterResult r = OfflineTriClusterer(config).Run(data, sf0);
-    error_table.AddRow(
-        {TableWriter::Num(error, 2),
-         TableWriter::Num(100.0 * ClusteringAccuracy(r.TweetClusters(),
-                                                     data.tweet_labels)),
-         TableWriter::Num(100.0 * ClusteringAccuracy(r.UserClusters(),
-                                                     data.user_labels)),
-         TableWriter::Num(100.0 * NormalizedMutualInformation(
-                                      r.TweetClusters(),
-                                      data.tweet_labels))});
+    const auto s = fit("lexicon/error_sweep/error:" +
+                           TableWriter::Num(error, 2),
+                       0.6, error);
+    error_table.AddRow({TableWriter::Num(error, 2), TableWriter::Num(s[0]),
+                        TableWriter::Num(s[1]), TableWriter::Num(s[2])});
   }
   error_table.Print(std::cout);
   std::cout << "\nShape to check: graceful degradation — accuracy falls "
@@ -80,7 +86,11 @@ void Run() {
 }  // namespace
 }  // namespace triclust
 
-int main() {
-  triclust::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return triclust::bench_flags::BenchMain(
+      argc, argv, "bench_lexicon_quality",
+      [](triclust::bench_flags::Reporter& reporter,
+         const triclust::bench_flags::Flags& flags) {
+        triclust::Run(reporter, flags);
+      });
 }

@@ -254,20 +254,25 @@ void RunDeadlineSweep(const LoadedCorpus& data) {
 }  // namespace triclust
 
 int main(int argc, char** argv) {
-  triclust::g_flags = triclust::bench_flags::Parse(argc, argv);
-  triclust::bench_flags::Reporter reporter("bench_replay", triclust::g_flags);
-  triclust::g_reporter = &reporter;
+  return triclust::bench_flags::BenchMain(
+      argc, argv, "bench_replay",
+      [](triclust::bench_flags::Reporter& reporter,
+         const triclust::bench_flags::Flags& flags) {
+        triclust::g_flags = flags;
+        triclust::g_reporter = &reporter;
 
-  triclust::bench_util::PrintHeader(
-      "Corpus TSV loaders: WriteTsv/ReadTsv round-trip throughput");
-  triclust::TableWriter io_table("In-memory TSV serialization");
-  io_table.SetHeader({"tweets", "MB", "write ms", "read ms", "read MB/s"});
-  const triclust::LoadedCorpus data = triclust::LoadThroughTsv(&io_table);
-  io_table.Print(std::cout);
+        triclust::bench_util::PrintHeader(
+            "Corpus TSV loaders: WriteTsv/ReadTsv round-trip throughput");
+        triclust::TableWriter io_table("In-memory TSV serialization");
+        io_table.SetHeader(
+            {"tweets", "MB", "write ms", "read ms", "read MB/s"});
+        const triclust::LoadedCorpus data =
+            triclust::LoadThroughTsv(&io_table);
+        io_table.Print(std::cout);
 
-  triclust::RunPartitionSweep(data);
-  triclust::RunSpeedupSweep(data);
-  triclust::RunEvalSweep(data);
-  triclust::RunDeadlineSweep(data);
-  return reporter.Write() ? 0 : 1;
+        triclust::RunPartitionSweep(data);
+        triclust::RunSpeedupSweep(data);
+        triclust::RunEvalSweep(data);
+        triclust::RunDeadlineSweep(data);
+      });
 }

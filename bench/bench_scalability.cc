@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_flags.h"
 #include "bench/bench_util.h"
 #include "src/core/offline.h"
 #include "src/util/parallel.h"
@@ -20,7 +21,8 @@ namespace {
 /// Strong-scaling sweep: the same offline solve at 1/2/4/hardware threads.
 /// With the row-partitioned kernels the speedup should track the physical
 /// core count until the O(k²)-per-row arithmetic is memory-bound.
-void RunThreadSweep() {
+void RunThreadSweep(bench_flags::Reporter& reporter,
+                    const bench_flags::Flags& flags) {
   bench_util::PrintHeader(
       "Scalability: offline solve time vs num_threads (parallel kernels)");
   const bench_util::BenchDataset b =
@@ -36,7 +38,7 @@ void RunThreadSweep() {
   double serial_seconds = 0.0;
   for (const int threads : thread_counts) {
     TriClusterConfig solver_config;
-    solver_config.max_iterations = 30;
+    solver_config.max_iterations = flags.ScaledIters(30);
     solver_config.tolerance = 0.0;
     solver_config.track_loss = false;
     solver_config.num_threads = threads;
@@ -49,12 +51,15 @@ void RunThreadSweep() {
     if (threads == 1) serial_seconds = seconds;
     table.AddRow({std::to_string(threads), TableWriter::Num(seconds, 3),
                   TableWriter::Num(serial_seconds / seconds, 2)});
+    reporter.Add("scalability/thread_sweep/threads:" + std::to_string(threads),
+                 seconds * 1e3,
+                 {{"speedup_vs_serial", serial_seconds / seconds}});
   }
   table.Print(std::cout);
   std::cout << "\nHardware concurrency on this machine: " << hw << "\n\n";
 }
 
-void Run() {
+void Run(bench_flags::Reporter& reporter, const bench_flags::Flags& flags) {
   bench_util::PrintHeader(
       "Scalability: offline solve time vs corpus size (paper §3.2)");
   TableWriter table("Offline solve, 30 iterations, k=3");
@@ -70,7 +75,7 @@ void Run() {
         bench_util::Prepare("scaled", config);
 
     TriClusterConfig solver_config;
-    solver_config.max_iterations = 30;
+    solver_config.max_iterations = flags.ScaledIters(30);
     solver_config.tolerance = 0.0;
     solver_config.track_loss = false;
     const DenseMatrix sf0 = b.lexicon.BuildSf0(b.builder.vocabulary(), 3);
@@ -88,6 +93,12 @@ void Run() {
                   std::to_string(b.data.xp.nnz()),
                   TableWriter::Num(seconds, 3),
                   TableWriter::Num(us_per_tweet_iter, 2)});
+    reporter.Add("scalability/volume_sweep/scale:" + TableWriter::Num(scale, 1),
+                 seconds * 1e3,
+                 {{"tweets", static_cast<double>(b.data.num_tweets())},
+                  {"users", static_cast<double>(b.data.num_users())},
+                  {"xp_nnz", static_cast<double>(b.data.xp.nnz())},
+                  {"us_per_tweet_iter", us_per_tweet_iter}});
   }
   table.Print(std::cout);
   std::cout << "\nShape to check: the per-tweet-per-iteration cost stays "
@@ -98,8 +109,12 @@ void Run() {
 }  // namespace
 }  // namespace triclust
 
-int main() {
-  triclust::Run();
-  triclust::RunThreadSweep();
-  return 0;
+int main(int argc, char** argv) {
+  return triclust::bench_flags::BenchMain(
+      argc, argv, "bench_scalability",
+      [](triclust::bench_flags::Reporter& reporter,
+         const triclust::bench_flags::Flags& flags) {
+        triclust::Run(reporter, flags);
+        triclust::RunThreadSweep(reporter, flags);
+      });
 }

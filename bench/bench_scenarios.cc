@@ -201,13 +201,15 @@ void RunStreamingLoaderSweep() {
 }  // namespace triclust
 
 int main(int argc, char** argv) {
-  triclust::g_flags = triclust::bench_flags::Parse(argc, argv);
-  triclust::bench_flags::Reporter reporter("bench_scenarios",
-                                           triclust::g_flags);
-  triclust::g_reporter = &reporter;
+  return triclust::bench_flags::BenchMain(
+      argc, argv, "bench_scenarios",
+      [](triclust::bench_flags::Reporter& reporter,
+         const triclust::bench_flags::Flags& flags) {
+        triclust::g_flags = flags;
+        triclust::g_reporter = &reporter;
 
-  triclust::RunCatalogSweep();
-  triclust::RunMethodCostSplit();
-  triclust::RunStreamingLoaderSweep();
-  return reporter.Write() ? 0 : 1;
+        triclust::RunCatalogSweep();
+        triclust::RunMethodCostSplit();
+        triclust::RunStreamingLoaderSweep();
+      });
 }

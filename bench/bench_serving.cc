@@ -273,11 +273,12 @@ void RunIngestionBench(bench_flags::Reporter* reporter) {
 }  // namespace triclust
 
 int main(int argc, char** argv) {
-  const triclust::bench_flags::Flags flags =
-      triclust::bench_flags::Parse(argc, argv);
-  triclust::bench_flags::Reporter reporter("bench_serving", flags);
-  triclust::RunThroughputSweep(flags, &reporter);
-  triclust::RunBudgetSweep(flags, &reporter);
-  triclust::RunIngestionBench(&reporter);
-  return reporter.Write() ? 0 : 1;
+  return triclust::bench_flags::BenchMain(
+      argc, argv, "bench_serving",
+      [](triclust::bench_flags::Reporter& reporter,
+         const triclust::bench_flags::Flags& flags) {
+        triclust::RunThroughputSweep(flags, &reporter);
+        triclust::RunBudgetSweep(flags, &reporter);
+        triclust::RunIngestionBench(&reporter);
+      });
 }

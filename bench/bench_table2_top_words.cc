@@ -6,19 +6,22 @@
 #include <iostream>
 #include <unordered_map>
 
+#include "bench/bench_flags.h"
 #include "bench/bench_util.h"
 #include "src/text/stopwords.h"
 #include "src/text/tokenizer.h"
+#include "src/util/stopwatch.h"
 #include "src/util/table_writer.h"
 
 namespace triclust {
 namespace {
 
-void Run() {
+void Run(bench_flags::Reporter& reporter) {
   bench_util::PrintHeader(
       "Table 2: top-8 words with highest frequency per class");
   const bench_util::BenchDataset b = bench_util::MakeProp37();
 
+  const Stopwatch watch;
   Tokenizer tokenizer;
   std::unordered_map<std::string, size_t> pos_counts;
   std::unordered_map<std::string, size_t> neg_counts;
@@ -77,12 +80,17 @@ void Run() {
   }
   std::cout << "\npolar words among top-8 lists: " << polar
             << ", class-aligned: " << aligned << "\n";
+  reporter.Add("table2/top_words/prop37", watch.ElapsedMillis(),
+               {{"polar_in_top8", static_cast<double>(polar)},
+                {"class_aligned", static_cast<double>(aligned)}});
 }
 
 }  // namespace
 }  // namespace triclust
 
-int main() {
-  triclust::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return triclust::bench_flags::BenchMain(
+      argc, argv, "bench_table2_top_words",
+      [](triclust::bench_flags::Reporter& reporter,
+         const triclust::bench_flags::Flags&) { triclust::Run(reporter); });
 }

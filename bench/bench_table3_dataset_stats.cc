@@ -5,13 +5,15 @@
 
 #include <iostream>
 
+#include "bench/bench_flags.h"
 #include "bench/bench_util.h"
+#include "src/util/stopwatch.h"
 #include "src/util/table_writer.h"
 
 namespace triclust {
 namespace {
 
-void Run() {
+void Run(bench_flags::Reporter& reporter) {
   bench_util::PrintHeader("Table 3: statistics of tweets and users");
 
   TableWriter tweets("Tweet label statistics (cf. paper Table 3)");
@@ -19,7 +21,12 @@ void Run() {
   TableWriter users("User label statistics (cf. paper Table 3)");
   users.SetHeader({"topic", "users", "pos", "neg", "neu", "gu_edges"});
 
-  for (const auto& b : {bench_util::MakeProp30(), bench_util::MakeProp37()}) {
+  for (const char* topic : {"prop30", "prop37"}) {
+    const Stopwatch watch;
+    const bench_util::BenchDataset b = topic == std::string("prop30")
+                                           ? bench_util::MakeProp30()
+                                           : bench_util::MakeProp37();
+    const double prepare_ms = watch.ElapsedMillis();
     const auto tl = b.dataset.corpus.CountTweetLabels();
     size_t retweets = 0;
     for (const Tweet& t : b.dataset.corpus.tweets()) {
@@ -33,6 +40,14 @@ void Run() {
                   std::to_string(ul.positive), std::to_string(ul.negative),
                   std::to_string(ul.neutral),
                   std::to_string(b.data.gu.num_edges())});
+    reporter.Add(
+        std::string("table3/dataset_stats/") + topic, prepare_ms,
+        {{"tweets", static_cast<double>(b.dataset.corpus.num_tweets())},
+         {"users", static_cast<double>(b.dataset.corpus.num_users())},
+         {"tweet_pos", static_cast<double>(tl.positive)},
+         {"tweet_neg", static_cast<double>(tl.negative)},
+         {"retweets", static_cast<double>(retweets)},
+         {"gu_edges", static_cast<double>(b.data.gu.num_edges())}});
   }
   tweets.Print(std::cout);
   users.Print(std::cout);
@@ -45,7 +60,9 @@ void Run() {
 }  // namespace
 }  // namespace triclust
 
-int main() {
-  triclust::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return triclust::bench_flags::BenchMain(
+      argc, argv, "bench_table3_dataset_stats",
+      [](triclust::bench_flags::Reporter& reporter,
+         const triclust::bench_flags::Flags&) { triclust::Run(reporter); });
 }

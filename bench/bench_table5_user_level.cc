@@ -3,9 +3,12 @@
 /// retweet graph, UserReg-10) and unsupervised (BACG, tri-clustering,
 /// online tri-clustering) on both campaign topics.
 
+#include <cmath>
+#include <functional>
 #include <iostream>
 
 #include "bench/methods.h"
+#include "src/util/stopwatch.h"
 #include "src/util/table_writer.h"
 
 namespace triclust {
@@ -13,7 +16,7 @@ namespace {
 
 using bench_methods::MethodScores;
 
-void Run() {
+void Run(bench_flags::Reporter& reporter, const bench_flags::Flags& flags) {
   bench_util::PrintHeader("Table 5: user-level sentiment comparison");
 
   const bench_util::BenchDataset prop30 = bench_util::MakeProp30();
@@ -23,43 +26,51 @@ void Run() {
       "User-level Accuracy / NMI, percent (cf. paper Table 5)");
   table.SetHeader({"method", "type", "acc-30", "acc-37", "nmi-30",
                    "nmi-37"});
-  auto add = [&](const std::string& method, const std::string& type,
-                 const MethodScores& s30, const MethodScores& s37) {
+
+  // Same per-method timing + finite-counters-only convention as Table 4.
+  auto add = [&](const std::string& method, const std::string& slug,
+                 const std::string& type,
+                 const std::function<MethodScores(
+                     const bench_util::BenchDataset&)>& fn) {
+    const Stopwatch watch;
+    const MethodScores s30 = fn(prop30);
+    const MethodScores s37 = fn(prop37);
+    const double both_ms = watch.ElapsedMillis();
     table.AddRow({method, type, TableWriter::Num(s30.accuracy),
                   TableWriter::Num(s37.accuracy),
                   TableWriter::Num(s30.nmi), TableWriter::Num(s37.nmi)});
+    std::vector<std::pair<std::string, double>> counters = {
+        {"accuracy_prop30_pct", s30.accuracy},
+        {"accuracy_prop37_pct", s37.accuracy}};
+    if (std::isfinite(s30.nmi)) counters.push_back({"nmi_prop30_pct", s30.nmi});
+    if (std::isfinite(s37.nmi)) counters.push_back({"nmi_prop37_pct", s37.nmi});
+    reporter.Add("table5/user_level/" + slug, both_ms, counters);
   };
 
-  add("SVM [28]", "supervised", bench_methods::UserSvm(prop30),
-      bench_methods::UserSvm(prop37));
-  add("NB [11]", "supervised", bench_methods::UserNaiveBayes(prop30),
-      bench_methods::UserNaiveBayes(prop37));
-  add("LP-5 [30]", "semi",
-      bench_methods::UserLabelPropagation(prop30, 0.05),
-      bench_methods::UserLabelPropagation(prop37, 0.05));
-  add("LP-10 [30]", "semi",
-      bench_methods::UserLabelPropagation(prop30, 0.10),
-      bench_methods::UserLabelPropagation(prop37, 0.10));
-  add("UserReg-10 [7]", "semi", bench_methods::UserUserReg(prop30),
-      bench_methods::UserUserReg(prop37));
-  add("BACG [34]", "unsup", bench_methods::UserBacg(prop30),
-      bench_methods::UserBacg(prop37));
-
-  const TriClusterResult tri30 = bench_methods::RunOfflineTri(prop30);
-  const TriClusterResult tri37 = bench_methods::RunOfflineTri(prop37);
-  add("Tri-clustering", "unsup",
-      bench_methods::ScoreClustering(tri30.UserClusters(),
-                                     prop30.data.user_labels),
-      bench_methods::ScoreClustering(tri37.UserClusters(),
-                                     prop37.data.user_labels));
-
-  const auto online30 = bench_methods::RunOnlineTri(prop30);
-  const auto online37 = bench_methods::RunOnlineTri(prop37);
-  add("Online tri-clustering", "unsup",
-      bench_methods::ScoreClustering(online30.user_clusters,
-                                     online30.user_labels),
-      bench_methods::ScoreClustering(online37.user_clusters,
-                                     online37.user_labels));
+  add("SVM [28]", "svm", "supervised", bench_methods::UserSvm);
+  add("NB [11]", "nb", "supervised", bench_methods::UserNaiveBayes);
+  add("LP-5 [30]", "lp5", "semi",
+      [](const bench_util::BenchDataset& b) {
+        return bench_methods::UserLabelPropagation(b, 0.05);
+      });
+  add("LP-10 [30]", "lp10", "semi",
+      [](const bench_util::BenchDataset& b) {
+        return bench_methods::UserLabelPropagation(b, 0.10);
+      });
+  add("UserReg-10 [7]", "userreg10", "semi", bench_methods::UserUserReg);
+  add("BACG [34]", "bacg", "unsup", bench_methods::UserBacg);
+  add("Tri-clustering", "triclust", "unsup",
+      [&](const bench_util::BenchDataset& b) {
+        const TriClusterResult r = bench_methods::RunOfflineTri(b, flags);
+        return bench_methods::ScoreClustering(r.UserClusters(),
+                                              b.data.user_labels);
+      });
+  add("Online tri-clustering", "online_triclust", "unsup",
+      [&](const bench_util::BenchDataset& b) {
+        const auto pooled = bench_methods::RunOnlineTri(b, flags);
+        return bench_methods::ScoreClustering(pooled.user_clusters,
+                                              pooled.user_labels);
+      });
 
   table.Print(std::cout);
   std::cout << "\nPaper shape to check: tri-clustering close to the "
@@ -70,7 +81,11 @@ void Run() {
 }  // namespace
 }  // namespace triclust
 
-int main() {
-  triclust::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return triclust::bench_flags::BenchMain(
+      argc, argv, "bench_table5_user_level",
+      [](triclust::bench_flags::Reporter& reporter,
+         const triclust::bench_flags::Flags& flags) {
+        triclust::Run(reporter, flags);
+      });
 }

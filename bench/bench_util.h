@@ -11,6 +11,22 @@
 namespace triclust {
 namespace bench_util {
 
+/// \file
+/// Shared dataset preparation for the bench/ executables.
+///
+/// Two conventions keep the JSON reports (bench/bench_flags.h) usable by
+/// the statistical harness (tools/bench_runner.py):
+///
+/// - **Preparation is not measurement.** `Prepare` (generation,
+///   vectorization, lexicon corruption) runs *outside* any timed section;
+///   a reported `real_time` covers only the solve/sweep under study, so
+///   repetition statistics measure the kernel, not the generator.
+/// - **Determinism.** Every dataset is seeded, so counters derived from
+///   the data (accuracy, nnz, label counts) are identical across
+///   repetitions and aggregate to zero variance in the harness — a
+///   nonzero stddev on such a counter indicates a determinism bug, and
+///   the report makes it visible.
+
 /// One fully-prepared experimental dataset: corpus + matrices + the
 /// imperfect prior lexicon used as Sf0 (60% coverage, 5% polarity noise —
 /// mimicking the automatically-built word lists of Smith et al. [28]).

@@ -13,6 +13,7 @@
 
 #include <cmath>
 
+#include "bench/bench_flags.h"
 #include "bench/bench_util.h"
 #include "src/baselines/aggregation.h"
 #include "src/baselines/bacg.h"
@@ -39,17 +40,17 @@ inline constexpr double kNaN = 0;  // placeholder; use std::nan("") directly
 
 // --- shared pieces -----------------------------------------------------------
 
-inline TriClusterConfig OfflineConfig() {
+inline TriClusterConfig OfflineConfig(const bench_flags::Flags& flags) {
   TriClusterConfig config;  // paper's balanced offline choice α=.05, β=.8
-  config.max_iterations = 100;
+  config.max_iterations = flags.ScaledIters(100);
   config.track_loss = false;
   return config;
 }
 
-inline OnlineConfig OnlineCfg() {
+inline OnlineConfig OnlineCfg(const bench_flags::Flags& flags) {
   OnlineConfig config;  // paper's online choice α=τ=.9, γ=.2, w=2
-  config.base = OfflineConfig();
-  config.base.max_iterations = 60;
+  config.base = OfflineConfig(flags);
+  config.base.max_iterations = flags.ScaledIters(60);
   return config;
 }
 
@@ -116,16 +117,18 @@ inline MethodScores TweetUserReg(const bench_util::BenchDataset& b) {
   return s;
 }
 
-inline MethodScores TweetEssa(const bench_util::BenchDataset& b) {
+inline MethodScores TweetEssa(const bench_util::BenchDataset& b,
+                              const bench_flags::Flags& flags) {
   EssaOptions options;
-  options.max_iterations = 100;
+  options.max_iterations = flags.ScaledIters(100);
   const TriClusterResult r = RunEssa(b.data.xp, Sf0Of(b), options);
   return ScoreClustering(r.TweetClusters(), b.data.tweet_labels);
 }
 
 /// Offline tri-clustering; result shared between tweet/user tables.
-inline TriClusterResult RunOfflineTri(const bench_util::BenchDataset& b) {
-  return OfflineTriClusterer(OfflineConfig()).Run(b.data, Sf0Of(b));
+inline TriClusterResult RunOfflineTri(const bench_util::BenchDataset& b,
+                                      const bench_flags::Flags& flags) {
+  return OfflineTriClusterer(OfflineConfig(flags)).Run(b.data, Sf0Of(b));
 }
 
 /// Online tri-clustering over per-day snapshots; returns pooled
@@ -137,8 +140,9 @@ struct OnlinePooled {
   std::vector<Sentiment> user_labels;
 };
 
-inline OnlinePooled RunOnlineTri(const bench_util::BenchDataset& b) {
-  OnlineTriClusterer online(OnlineCfg(), Sf0Of(b));
+inline OnlinePooled RunOnlineTri(const bench_util::BenchDataset& b,
+                                 const bench_flags::Flags& flags) {
+  OnlineTriClusterer online(OnlineCfg(flags), Sf0Of(b));
   OnlinePooled pooled;
   for (const Snapshot& snap : SplitByDay(b.dataset.corpus)) {
     const DatasetMatrices data =

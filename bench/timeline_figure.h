@@ -4,10 +4,14 @@
 /// Shared driver of the paper's Figure 11/12 benches: runs the online,
 /// mini-batch and full-batch processing modes over a per-day stream and
 /// prints the three per-day series (running time, tweet-level accuracy,
-/// user-level accuracy) plus a whole-stream summary.
+/// user-level accuracy) plus a whole-stream summary. Each mode is
+/// reported as one JSON entry `<report_prefix>/mode:<mode>` whose
+/// real_time is the whole-stream processing time.
 
 #include <iostream>
+#include <string>
 
+#include "bench/bench_flags.h"
 #include "bench/bench_util.h"
 #include "src/core/timeline.h"
 #include "src/data/snapshots.h"
@@ -16,18 +20,21 @@
 namespace triclust {
 namespace bench_fig {
 
-inline OnlineConfig TimelineConfig() {
+inline OnlineConfig TimelineConfig(const bench_flags::Flags& flags) {
   OnlineConfig config;
-  config.base.max_iterations = 60;
+  config.base.max_iterations = flags.ScaledIters(60);
   config.base.track_loss = false;
   return config;
 }
 
 inline void RunTimelineFigure(const char* title,
-                              const bench_util::BenchDataset& b) {
+                              const bench_util::BenchDataset& b,
+                              const std::string& report_prefix,
+                              bench_flags::Reporter& reporter,
+                              const bench_flags::Flags& flags) {
   bench_util::PrintHeader(title);
   const std::vector<Snapshot> snapshots = SplitByDay(b.dataset.corpus);
-  const OnlineConfig config = TimelineConfig();
+  const OnlineConfig config = TimelineConfig(flags);
 
   const auto online = RunTimeline(b.dataset.corpus, b.builder, snapshots,
                                   b.lexicon, TimelineMode::kOnline, config);
@@ -63,6 +70,11 @@ inline void RunTimelineFigure(const char* title,
     summary.AddRow({name, TableWriter::Num(TotalSeconds(steps), 3),
                     TableWriter::Num(AverageTweetAccuracy(steps), 2),
                     TableWriter::Num(AverageUserAccuracy(steps), 2)});
+    reporter.Add(
+        report_prefix + "/mode:" + name, TotalSeconds(steps) * 1e3,
+        {{"days", static_cast<double>(steps.size())},
+         {"avg_tweet_accuracy_pct", AverageTweetAccuracy(steps)},
+         {"avg_user_accuracy_pct", AverageUserAccuracy(steps)}});
   };
   add("online", online);
   add("mini-batch", mini);

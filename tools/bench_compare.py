@@ -1,5 +1,11 @@
 #!/usr/bin/env python3
-"""Compares two google-benchmark JSON artifacts and prints a speedup table.
+"""Prints a speedup table for two benchmark JSON artifacts.
+
+Accepts either per-run JSON (classic google-benchmark output, or the
+``triclust-bench/1`` shim documented in ``bench/bench_flags.h``) or an
+aggregated ``triclust-bench-report/1`` report written by
+``tools/bench_runner.py`` — in the aggregated case each scenario's mean
+wall time is compared. The two files may use different formats.
 
 Typical use is an A/B of the kernel-dispatch layer: run
 ``bench/bench_kernels`` once under ``TRICLUST_FORCE_SCALAR=1`` and once
@@ -17,6 +23,11 @@ when any shared benchmark REGRESSED by more than PCT percent (candidate
 slower than baseline), printing the offenders. The CI bench-smoke job runs
 it informationally (threshold high enough to only catch pathological
 regressions on shared runners).
+
+NOTE: for commit-over-commit regression gating, prefer
+``tools/bench_gate.py`` — it compares against a checked-in baseline with a
+noise-aware (confidence-interval) rule and per-scenario thresholds. This
+script remains for quick two-artifact A/B speedup tables.
 """
 
 import argparse
@@ -24,15 +35,26 @@ import json
 import math
 import sys
 
+REPORT_SCHEMA = "triclust-bench-report/1"
+
 
 def load_benchmarks(path):
-    """Returns {name: real_time_ns} for the non-aggregate entries."""
+    """Returns {name: real_time_ns}.
+
+    Per-run JSON contributes its non-aggregate entries (aggregate rows —
+    mean/median/stddev of --benchmark_repetitions — are skipped so repeated
+    runs compare consistently); an aggregated runner report contributes
+    each scenario's mean under its ``binary/name`` key.
+    """
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
     out = {}
+    if doc.get("schema") == REPORT_SCHEMA:
+        for scenario in doc.get("scenarios", []):
+            # Runner reports are normalized to milliseconds.
+            out[scenario["key"]] = scenario["real_time"]["mean"] * 1e6
+        return out
     for bench in doc.get("benchmarks", []):
-        # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions)
-        # so repeated runs compare their aggregate-free entries consistently.
         if bench.get("run_type") == "aggregate":
             continue
         name = bench["name"]
@@ -41,7 +63,10 @@ def load_benchmarks(path):
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
         if scale is None:
             raise ValueError(f"{path}: unknown time_unit {unit!r} for {name}")
-        out[name] = time * scale
+        # A per-run file with in-process repetitions repeats names; keep the
+        # fastest sample, matching google-benchmark's reporting convention.
+        if name not in out or time * scale < out[name]:
+            out[name] = time * scale
     return out
 
 

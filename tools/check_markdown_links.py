@@ -6,11 +6,16 @@ and verifies that each relative target (optionally with a #fragment)
 exists on disk. External schemes (http/https/mailto) and pure-fragment
 links are skipped.
 
-Additionally guards docs/FORMATS.md as the normative format spec: the
-file must keep specifying the checkpoint integrity trailer (the
-``triclust-crc32`` line format 2 stores depend on) — code references
-"FORMATS.md §4" and an edit that drops the section would orphan them
-silently.
+Additionally guards the normative specs in docs/:
+
+* docs/FORMATS.md must keep specifying the checkpoint integrity trailer
+  (the ``triclust-crc32`` line format 2 stores depend on) — code
+  references "FORMATS.md §4" and an edit that drops the section would
+  orphan them silently.
+* docs/BENCHMARK.md must keep documenting the aggregated report schema
+  (``triclust-bench-report/1``) and the baseline-update workflow —
+  tools/bench_runner.py and tools/bench_gate.py implement that contract
+  and their consumers depend on the doc staying authoritative.
 
 Used by the CI docs job; run locally as
 ``python3 tools/check_markdown_links.py`` from anywhere in the repo.
@@ -58,22 +63,42 @@ FORMATS_REQUIRED = (
 )
 
 
-def check_formats_spec(root: str):
-    """Returns problem strings when FORMATS.md lost the trailer spec."""
-    path = os.path.join(root, FORMATS_SPEC)
+# docs/BENCHMARK.md must keep documenting the report schema and the
+# baseline workflow the harness tools implement.
+BENCHMARK_SPEC = "docs/BENCHMARK.md"
+BENCHMARK_REQUIRED = (
+    ("## Report schema",
+     "the aggregated-report schema section is gone"),
+    ("triclust-bench-report/1",
+     "the report schema version tag is no longer documented"),
+    ("triclust-bench/1",
+     "the per-run schema the bench binaries emit is no longer named"),
+    ("--update-baseline",
+     "the baseline-update workflow is no longer documented"),
+    ("ci95_half",
+     "the confidence-interval statistic consumers read is undocumented"),
+)
+
+
+def check_required_text(root: str, rel_path: str, required, kind: str):
+    """Returns problem strings when a normative doc lost required text."""
+    path = os.path.join(root, rel_path)
     if not os.path.exists(path):
-        return [f"{FORMATS_SPEC}: missing (normative format spec)"]
+        return [f"{rel_path}: missing ({kind})"]
     with open(path, encoding="utf-8", errors="replace") as f:
         text = f.read()
     return [
-        f"{FORMATS_SPEC}: missing required text {token!r} ({why})"
-        for token, why in FORMATS_REQUIRED if token not in text
+        f"{rel_path}: missing required text {token!r} ({why})"
+        for token, why in required if token not in text
     ]
 
 
 def main() -> int:
     root = repo_root()
-    broken = check_formats_spec(root)
+    broken = check_required_text(
+        root, FORMATS_SPEC, FORMATS_REQUIRED, "normative format spec")
+    broken += check_required_text(
+        root, BENCHMARK_SPEC, BENCHMARK_REQUIRED, "normative bench guide")
     for md in markdown_files(root):
         md_path = os.path.join(root, md)
         # Link syntax is ASCII; don't let a stray non-UTF-8 byte elsewhere
@@ -98,7 +123,7 @@ def main() -> int:
         print(f"{len(broken)} doc problem(s)")
         return 1
     print("all relative markdown links resolve; "
-          "FORMATS.md trailer spec present")
+          "FORMATS.md trailer spec and BENCHMARK.md schema spec present")
     return 0
 
 
